@@ -1,0 +1,48 @@
+# Convenience targets for the BEAST reproduction. Everything is plain
+# `go` underneath; the Makefile only names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt examples artifacts gensweep clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full benchmark run: every paper figure and table (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gemm -scale 32
+	$(GO) run ./examples/fftsizes
+	$(GO) run ./examples/batched
+	$(GO) run ./examples/specfile
+	$(GO) run ./examples/energy -scale 32
+
+# Regenerate the committed artifacts (docs/ and internal/gensweep).
+artifacts: gensweep
+	$(GO) run ./cmd/beast -gemm dgemm_nn -dot | tail -n +2 > docs/fig16_gemm.dot
+	$(GO) run ./cmd/beast -gemm dgemm_nn -scale 32 -min-threads 64 -svg docs/pruning_radial.svg -count > /dev/null
+	$(GO) run ./cmd/spacegen -gemm dgemm_nn -lang c -c-main -c-threads -o docs/sweep_dgemm_nn.c
+
+gensweep:
+	$(GO) run ./cmd/spacegen -write-gensweep
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,191 @@
+package beast
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public surface the way a downstream
+// user would: build, parse, compile, enumerate with every backend,
+// generate code, and tune.
+func TestFacadeEndToEnd(t *testing.T) {
+	s := NewSpace()
+	s.IntSetting("n", 12)
+	s.Range("x", Int(1), Add(Ref("n"), Int(1)))
+	s.RangeStep("y", Ref("x"), Add(Ref("n"), Int(1)), Ref("x"))
+	s.Derived("xy", Mul(Ref("x"), Ref("y")))
+	s.Constrain("big", Hard, Gt(Ref("xy"), Int(60)))
+	s.Constrain("odd", Soft, Eq(Mod(Ref("xy"), Int(2)), Int(1)))
+
+	prog, err := Compile(s, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int64
+	for _, e := range []Engine{NewInterp(prog), NewVM(prog), comp} {
+		st, err := e.Run(RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, st.Survivors)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] || counts[0] == 0 {
+		t.Fatalf("engines disagree: %v", counts)
+	}
+
+	// The equivalent textual spec produces the same survivors.
+	parsed, err := ParseSpec(`
+setting n = 12
+x = range(1, n + 1)
+y = range(x, n + 1, x)
+let xy = x * y
+constraint hard big: xy > 60
+constraint soft odd: xy % 2 == 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Compile(parsed, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := NewCompiled(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := comp2.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Survivors != counts[0] {
+		t.Fatalf("spec-language survivors %d != builder %d", st2.Survivors, counts[0])
+	}
+
+	// Code generation through the facade.
+	csrc, err := GenerateC(prog, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csrc, "beast_enumerate") || !strings.Contains(csrc, "pthread_create") {
+		t.Error("generated C missing expected symbols")
+	}
+	gosrc, err := GenerateGo(prog, "demo", "Sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gosrc, "func Sweep(") {
+		t.Error("generated Go missing function")
+	}
+
+	// Tuning through the facade: maximize xy.
+	tuner, err := NewTuner(s, func(tuple []int64) float64 {
+		return float64(tuple[0] * tuple[1])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tuner.Run(TuneOptions{Strategy: Exhaustive, TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Best[0].Tuple, []int64{5, 10}) && !reflect.DeepEqual(rep.Best[0].Tuple, []int64{10, 10}) {
+		// xy <= 60, even; maximum even product <= 60 with y multiple of x:
+		// x=10,y=10 gives 100 > 60 — rejected; best is xy = 60 (x=5,y=60/5=...).
+		// Just check the invariants instead of the exact point:
+		best := rep.Best[0].Tuple
+		xy := best[0] * best[1]
+		if xy > 60 || xy%2 == 1 || best[1]%best[0] != 0 {
+			t.Fatalf("best tuple %v violates constraints", best)
+		}
+	}
+	if rep.Best[0].Score > 60 {
+		t.Fatalf("score %v exceeds the hard constraint", rep.Best[0].Score)
+	}
+}
+
+func TestFacadeDomainAlgebraAndProtocols(t *testing.T) {
+	s := NewSpace()
+	s.DomainIter("v", Union(Range(Int(0), Int(4)), List(Int(10), Int(2))))
+	s.DomainIter("w", CondDomain(Gt(Ref("v"), Int(3)),
+		Diff(Range(Int(0), Int(6)), List(Int(1), Int(3), Int(5))),
+		Concat(List(Int(7)), List(Int(9)))))
+	prog, err := Compile(s, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := comp.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{ProtoDefault, ProtoWhile, ProtoRange, ProtoXRange, ProtoRepeat} {
+		for _, e := range []Engine{NewInterp(prog), NewVM(prog), comp} {
+			st, err := e.Run(RunOptions{Protocol: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Survivors != base.Survivors {
+				t.Errorf("%s/%v: %d survivors, want %d", e.Name(), p, st.Survivors, base.Survivors)
+			}
+		}
+	}
+}
+
+func ExampleParseSpec() {
+	s, err := ParseSpec(`
+setting limit = 6
+x = range(1, limit)
+constraint soft even_only: x % 2 != 0
+`)
+	if err != nil {
+		panic(err)
+	}
+	prog, err := Compile(s, PlanOptions{})
+	if err != nil {
+		panic(err)
+	}
+	eng, err := NewCompiled(prog)
+	if err != nil {
+		panic(err)
+	}
+	st, err := eng.Run(RunOptions{OnTuple: func(t []int64) bool {
+		fmt.Println(t[0])
+		return true
+	}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("survivors:", st.Survivors)
+	// Output:
+	// 2
+	// 4
+	// survivors: 2
+}
+
+func ExampleNewSpace() {
+	s := NewSpace()
+	s.Range("i", Int(0), Int(5))
+	s.ClosureIter("fib", []string{"i"}, func(args []Value, yield func(int64) bool) {
+		k, n := int64(1), int64(1)
+		for n <= args[0].I {
+			if !yield(n) {
+				return
+			}
+			n, k = n+k, n
+		}
+	})
+	prog, _ := Compile(s, PlanOptions{})
+	eng, _ := NewCompiled(prog)
+	st, _ := eng.Run(RunOptions{})
+	fmt.Println(st.Survivors)
+	// Output: 9
+}

@@ -1,0 +1,198 @@
+// Command beast runs the search-space pipeline on a textual spec file (or
+// the built-in GEMM model problem): plan the loop nest, show the
+// dependency DAG, enumerate with any backend, and report the pruning
+// funnel — the end-to-end flow of the paper's Figure 16 and §X.
+//
+// Examples:
+//
+//	beast -spec space.bst -describe
+//	beast -spec space.bst -count -engine compiled -workers 8
+//	beast -gemm dgemm_nn -scale 32 -funnel -svg prune.svg
+//	beast -spec space.bst -dot | dot -Tpdf > dag.pdf
+//	beast -spec space.bst -tuples 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/plan"
+	"repro/internal/space"
+	"repro/internal/speclang"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "path to a spec-language file")
+		gemmName   = flag.String("gemm", "", "built-in GEMM space instead of -spec")
+		devName    = flag.String("device", "k40c", "device for -gemm")
+		devJSON    = flag.String("device-json", "", "load device properties from a JSON file instead of -device")
+		scale      = flag.Int64("scale", 1, "divide device thread-dim limits by this factor")
+		minThreads = flag.Int64("min-threads", 256, "GEMM occupancy floor")
+		describe   = flag.Bool("describe", false, "print the planned loop nest and exit")
+		format     = flag.Bool("format", false, "re-render the space in the textual notation and exit")
+		dot        = flag.Bool("dot", false, "print the dependency DAG in Graphviz format and exit")
+		count      = flag.Bool("count", false, "enumerate and print statistics")
+		funnel     = flag.Bool("funnel", false, "enumerate and print the pruning funnel")
+		svgPath    = flag.String("svg", "", "write the radial pruning visualization to this file")
+		tuples     = flag.Int64("tuples", 0, "print the first N surviving tuples")
+		engineName = flag.String("engine", "compiled", "backend: interp, vm, compiled")
+		protoName  = flag.String("protocol", "default", "loop protocol: default, while, range, xrange, repeat")
+		workers    = flag.Int("workers", 1, "parallel workers (compiled outer-loop split)")
+		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
+	)
+	flag.Parse()
+
+	s, err := loadSpace(*specPath, *gemmName, *devName, *devJSON, *scale, *minThreads)
+	if err != nil {
+		fatal(err)
+	}
+	if *format {
+		text, err := speclang.Format(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	fmt.Println(s.Summary())
+
+	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist})
+	if err != nil {
+		fatal(err)
+	}
+	if *describe {
+		fmt.Print(prog.Describe())
+		return
+	}
+	if *dot {
+		fmt.Print(prog.Graph.DOT("beast space"))
+		return
+	}
+
+	eng, err := pickEngine(*engineName, prog)
+	if err != nil {
+		fatal(err)
+	}
+	proto, err := pickProtocol(*protoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := engine.Options{Protocol: proto, Workers: *workers}
+	if *tuples > 0 {
+		names := prog.IterNames()
+		fmt.Println(strings.Join(names, " "))
+		shown := int64(0)
+		opts.OnTuple = func(tu []int64) bool {
+			parts := make([]string, len(tu))
+			for i, v := range tu {
+				parts[i] = fmt.Sprintf("%d", v)
+			}
+			fmt.Println(strings.Join(parts, " "))
+			shown++
+			return shown < *tuples
+		}
+		opts.Workers = 1 // deterministic order for display
+	}
+
+	if !*count && !*funnel && *svgPath == "" && *tuples == 0 {
+		fmt.Print(prog.Describe())
+		return
+	}
+
+	start := time.Now()
+	st, err := eng.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("engine=%s protocol=%s workers=%d elapsed=%s\n",
+		eng.Name(), proto, *workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("visited=%d survivors=%d pruned=%.4f%% (%.2fM iterations/s)\n",
+		st.TotalVisits(), st.Survivors, 100*st.PruneRate(),
+		float64(st.TotalVisits())/elapsed.Seconds()/1e6)
+	if *funnel {
+		fmt.Print(viz.ASCIIFunnel(prog, st))
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(viz.RadialSVG(prog, st)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}
+
+func loadSpace(specPath, gemmName, devName, devJSON string, scale, minThreads int64) (*space.Space, error) {
+	switch {
+	case specPath != "" && gemmName != "":
+		return nil, fmt.Errorf("use either -spec or -gemm, not both")
+	case specPath != "":
+		src, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return speclang.Parse(string(src))
+	case gemmName != "":
+		cfg, err := gemm.ByName(gemmName)
+		if err != nil {
+			return nil, err
+		}
+		var dev *device.Properties
+		if devJSON != "" {
+			dev, err = device.LoadJSONFile(devJSON)
+		} else {
+			dev, err = device.Lookup(devName)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg.Device = device.Scaled(dev, scale)
+		cfg.MinThreadsPerMultiprocessor = minThreads
+		return gemm.Space(cfg)
+	default:
+		return nil, fmt.Errorf("one of -spec or -gemm is required")
+	}
+}
+
+func pickEngine(name string, prog *plan.Program) (engine.Engine, error) {
+	switch name {
+	case "interp":
+		return engine.NewInterp(prog), nil
+	case "vm":
+		return engine.NewVM(prog), nil
+	case "compiled":
+		return engine.NewCompiled(prog)
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want interp, vm, compiled)", name)
+	}
+}
+
+func pickProtocol(name string) (engine.Protocol, error) {
+	switch name {
+	case "default":
+		return engine.ProtoDefault, nil
+	case "while":
+		return engine.ProtoWhile, nil
+	case "range":
+		return engine.ProtoRange, nil
+	case "xrange":
+		return engine.ProtoXRange, nil
+	case "repeat":
+		return engine.ProtoRepeat, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beast:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command benchloops reproduces the loop-nest performance study of §XI
+// (Figures 17, 18, 19): a fixed total iteration count executed as nests of
+// depth 1-4 under every backend and loop protocol, reported in iterations
+// per second.
+//
+//	benchloops                      # all figures, default 10^8 iterations
+//	benchloops -backend interp      # Figure 17 only (Python model)
+//	benchloops -backend vm          # Figure 18 only (Lua model)
+//	benchloops -backend native      # Figure 19 only (compiled backends)
+//	benchloops -total 1000000       # quicker run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gensweep"
+	"repro/internal/loopbench"
+	"repro/internal/plan"
+)
+
+func main() {
+	var (
+		total    = flag.Int64("total", 100_000_000, "total innermost iterations")
+		backend  = flag.String("backend", "all", "interp, vm, native, or all")
+		maxDepth = flag.Int("max-depth", loopbench.MaxDepth, "deepest nest to run")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-22s %-8s %6s %14s %10s %12s\n",
+		"series", "variant", "depth", "iterations", "seconds", "Mit/s")
+
+	if *backend == "interp" || *backend == "all" {
+		figure17(*total, *maxDepth)
+	}
+	if *backend == "vm" || *backend == "all" {
+		figure18(*total, *maxDepth)
+	}
+	if *backend == "native" || *backend == "all" {
+		figure19(*total, *maxDepth)
+	}
+}
+
+func row(series, variant string, depth int, iters int64, sec float64) {
+	fmt.Printf("%-22s %-8s %6d %14d %10.3f %12.2f\n",
+		series, variant, depth, iters, sec, float64(iters)/sec/1e6)
+}
+
+func runEngine(e engine.Engine, p engine.Protocol) (int64, float64) {
+	start := time.Now()
+	st, err := e.Run(engine.Options{Protocol: p})
+	if err != nil {
+		fatal(err)
+	}
+	return st.Survivors, time.Since(start).Seconds()
+}
+
+// figure17: the Python-model interpreter under while/range/xrange.
+func figure17(total int64, maxDepth int) {
+	for _, v := range []struct {
+		name  string
+		proto engine.Protocol
+	}{
+		{"while", engine.ProtoWhile},
+		{"range", engine.ProtoRange},
+		{"xrange", engine.ProtoXRange},
+	} {
+		for depth := 1; depth <= maxDepth; depth++ {
+			prog := compile(depth, total)
+			iters, sec := runEngine(engine.NewInterp(prog), v.proto)
+			row("fig17-interp", v.name, depth, iters, sec)
+		}
+	}
+}
+
+// figure18: the Lua-model bytecode VM under while/repeat/for.
+func figure18(total int64, maxDepth int) {
+	for _, v := range []struct {
+		name  string
+		proto engine.Protocol
+	}{
+		{"while", engine.ProtoWhile},
+		{"repeat", engine.ProtoRepeat},
+		{"for", engine.ProtoXRange},
+	} {
+		for depth := 1; depth <= maxDepth; depth++ {
+			prog := compile(depth, total)
+			iters, sec := runEngine(engine.NewVM(prog), v.proto)
+			row("fig18-vm", v.name, depth, iters, sec)
+		}
+	}
+}
+
+// figure19: the compiled backends — closure-compiled, ahead-of-time
+// generated Go (fixed at the committed 10^7-iteration workload), and the
+// hand-written ceiling.
+func figure19(total int64, maxDepth int) {
+	for depth := 1; depth <= maxDepth; depth++ {
+		prog := compile(depth, total)
+		comp, err := engine.NewCompiled(prog)
+		if err != nil {
+			fatal(err)
+		}
+		iters, sec := runEngine(comp, engine.ProtoDefault)
+		row("fig19-closure", "-", depth, iters, sec)
+	}
+	gen := []func(func([]int64) bool) int64{
+		func(f func([]int64) bool) int64 { st := gensweep.Loops1(f); return st.Survivors },
+		func(f func([]int64) bool) int64 { st := gensweep.Loops2(f); return st.Survivors },
+		func(f func([]int64) bool) int64 { st := gensweep.Loops3(f); return st.Survivors },
+		func(f func([]int64) bool) int64 { st := gensweep.Loops4(f); return st.Survivors },
+	}
+	for depth := 1; depth <= maxDepth && depth <= len(gen); depth++ {
+		start := time.Now()
+		iters := gen[depth-1](nil)
+		sec := time.Since(start).Seconds()
+		row("fig19-generated", "-", depth, iters, sec)
+	}
+	for depth := 1; depth <= maxDepth; depth++ {
+		start := time.Now()
+		iters, _ := loopbench.HandNest(depth, total)
+		sec := time.Since(start).Seconds()
+		row("fig19-handwritten", "-", depth, iters, sec)
+	}
+}
+
+func compile(depth int, total int64) *plan.Program {
+	prog, err := plan.Compile(loopbench.Space(depth, total), plan.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchloops:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command spacegen is the BEAST translator front end: it turns a search
+// space — a textual spec file, the built-in GEMM model problem, or the
+// Figure 19 loop-nest workload — into standard C or Go source, the
+// conversion step of §X of the paper.
+//
+// Examples:
+//
+//	spacegen -spec space.bst -lang c -c-main -c-threads -o sweep.c
+//	spacegen -gemm dgemm_nn -device k40c -scale 32 -lang c -c-main
+//	spacegen -loopbench 3 -total 100000000 -lang go -pkg sweep
+//	spacegen -write-gensweep   # refresh the committed internal/gensweep files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen"
+	"repro/internal/device"
+	"repro/internal/gemm"
+	"repro/internal/gensweep"
+	"repro/internal/loopbench"
+	"repro/internal/plan"
+	"repro/internal/space"
+	"repro/internal/speclang"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "path to a spec-language file")
+		gemmName   = flag.String("gemm", "", "built-in GEMM space: sgemm/dgemm/cgemm/zgemm[_nn|_nt|_tn|_tt]")
+		loopDepth  = flag.Int("loopbench", 0, "built-in loop-nest workload of this depth (1-4)")
+		loopTotal  = flag.Int64("total", 100_000_000, "total iterations for -loopbench")
+		devName    = flag.String("device", "k40c", "device for -gemm: k40c, gtx680, c2050, gtx980")
+		scale      = flag.Int64("scale", 1, "divide the device thread-dim limits by this factor")
+		minThreads = flag.Int64("min-threads", 256, "occupancy floor for the GEMM soft constraints")
+		lang       = flag.String("lang", "c", "output language: c or go")
+		cMain      = flag.Bool("c-main", false, "emit a main() driver (C)")
+		cThreads   = flag.Bool("c-threads", false, "emit the pthreads variant (C)")
+		pkg        = flag.String("pkg", "sweep", "package name (Go)")
+		funcName   = flag.String("func", "Enumerate", "function name")
+		out        = flag.String("o", "", "output file (default stdout)")
+		writeGS    = flag.Bool("write-gensweep", false, "regenerate internal/gensweep/*_gen.go and exit")
+	)
+	flag.Parse()
+
+	if *writeGS {
+		if err := writeGensweep(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s, err := buildSpace(*specPath, *gemmName, *loopDepth, *loopTotal, *devName, *scale, *minThreads)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	var src string
+	switch *lang {
+	case "c":
+		src, err = codegen.C(prog, codegen.COptions{FuncName: sanitizeC(*funcName), Main: *cMain, Threads: *cThreads})
+	case "go":
+		src, err = codegen.Go(prog, codegen.GoOptions{Package: *pkg, FuncName: *funcName})
+	default:
+		err = fmt.Errorf("unknown -lang %q (want c or go)", *lang)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
+}
+
+func buildSpace(specPath, gemmName string, loopDepth int, loopTotal int64,
+	devName string, scale, minThreads int64) (*space.Space, error) {
+	modes := 0
+	for _, on := range []bool{specPath != "", gemmName != "", loopDepth > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return nil, fmt.Errorf("exactly one of -spec, -gemm, -loopbench is required")
+	}
+	switch {
+	case specPath != "":
+		src, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return speclang.Parse(string(src))
+	case gemmName != "":
+		cfg, err := gemm.ByName(gemmName)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := device.Lookup(devName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Device = device.Scaled(dev, scale)
+		cfg.MinThreadsPerMultiprocessor = minThreads
+		return gemm.Space(cfg)
+	default:
+		if loopDepth > loopbench.MaxDepth {
+			return nil, fmt.Errorf("-loopbench depth %d exceeds %d", loopDepth, loopbench.MaxDepth)
+		}
+		return loopbench.Space(loopDepth, loopTotal), nil
+	}
+}
+
+// sanitizeC keeps the default Go-ish name out of the C namespace.
+func sanitizeC(name string) string {
+	if name == "Enumerate" {
+		return "beast_enumerate"
+	}
+	return name
+}
+
+func writeGensweep() error {
+	files, err := gensweep.Sources()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join("internal", "gensweep")
+	if _, err := os.Stat(filepath.Join(dir, "gen.go")); err != nil {
+		return fmt.Errorf("run from the repository root (missing %s): %w", dir, err)
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(content))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spacegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Closure iterators in anger: autotuning FFT problem sizes.
+//
+// Figure 3 of the paper defines a prime-number generator as a closure
+// iterator and motivates it with FFT autotuning: prime sizes are the
+// hard-to-optimize case (Rader's algorithm re-expresses a prime-length
+// DFT as a convolution of length p-1, whose efficiency depends on how
+// smooth p-1 is). This example enumerates candidate FFT sizes with a
+// stateful prime generator, derives the smoothness of p-1 through a
+// deferred constraint, and ranks plans with a toy cost model.
+//
+//	go run ./examples/fftsizes
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	beast "repro"
+	"repro/internal/autotune"
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// largestPrimeFactor returns the largest prime factor of n (n >= 2).
+func largestPrimeFactor(n int64) int64 {
+	largest := int64(1)
+	for p := int64(2); p*p <= n; p++ {
+		for n%p == 0 {
+			largest, n = p, n/p
+		}
+	}
+	if n > 1 {
+		largest = n
+	}
+	return largest
+}
+
+func main() {
+	s := beast.NewSpace()
+	s.IntSetting("max_size", 4096)
+
+	// The paper's Figure 3 closure iterator: primes up to MAX, generated
+	// with persistent state across yields.
+	s.ClosureIter("p", []string{"max_size"}, func(args []beast.Value, yield func(int64) bool) {
+		maxSize := args[0].I
+		var oldPrimes []int64
+		if maxSize >= 2 && !yield(2) {
+			return
+		}
+		for n := int64(3); n <= maxSize; n += 2 {
+			prime := true
+			for _, q := range oldPrimes {
+				if q*q > n {
+					break
+				}
+				if n%q == 0 {
+					prime = false
+					break
+				}
+			}
+			if prime {
+				if !yield(n) {
+					return
+				}
+				oldPrimes = append(oldPrimes, n)
+			}
+		}
+	})
+
+	// Radix choices for the convolution stage.
+	s.IntList("radix", 2, 4, 8)
+
+	// Rader reduces a prime-size DFT to length p-1; reject primes whose
+	// p-1 is not smooth enough to recurse on cheaply (deferred
+	// constraint: host logic over the iterator values, §VI).
+	s.DeferredConstraint("rader_unfriendly", space.Soft, []string{"p"},
+		func(args []expr.Value) bool {
+			return largestPrimeFactor(args[0].I-1) > 13
+		})
+	// The radix must divide p-1 (correctness: the decomposition exists).
+	s.DeferredConstraint("radix_mismatch", space.Correctness, []string{"p", "radix"},
+		func(args []expr.Value) bool {
+			return (args[0].I-1)%args[1].I != 0
+		})
+
+	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+		p, radix := tuple[0], tuple[1]
+		// Toy plan cost: Rader convolution of length p-1 decomposed by
+		// the radix; deeper recursion on a smoother remainder is cheaper.
+		work := float64(p-1) * float64(largestPrimeFactor((p-1)/radix)) / float64(radix)
+		return -work // lower work = better
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prime FFT sizes up to 4096: %d Rader-friendly (p, radix) plans survive pruning\n",
+		rep.Survivors)
+	fmt.Println("best plans (p, radix, relative cost):")
+	best := rep.Best
+	sort.SliceStable(best, func(i, j int) bool { return best[i].Score > best[j].Score })
+	for _, r := range best {
+		fmt.Printf("  p=%-5d radix=%d  cost=%.0f\n", r.Tuple[0], r.Tuple[1], -r.Score)
+	}
+}

@@ -1,0 +1,108 @@
+package beast
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd executes one of the repository's commands via `go run` and
+// returns its combined output.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("command integration tests skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdBeastDescribeAndCount(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "space.bst")
+	src := `
+setting n = 30
+a = range(1, n + 1)
+b = range(a, n + 1, a)
+let ab = a * b
+constraint hard big: ab > 400
+constraint soft odd: ab % 2 == 1
+`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "./cmd/beast", "-spec", spec, "-describe")
+	for _, want := range []string{"for a in range(1, 31)", "for b in range(a, 31, a)", "big", "odd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, "./cmd/beast", "-spec", spec, "-count", "-funnel", "-engine", "vm")
+	for _, want := range []string{"engine=vm", "survivors", "pruning funnel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("count output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, "./cmd/beast", "-spec", spec, "-dot")
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, `"a" -> "b"`) {
+		t.Errorf("dot output malformed:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/beast", "-spec", spec, "-tuples", "3")
+	if !strings.Contains(out, "a b") {
+		t.Errorf("tuples output missing header:\n%s", out)
+	}
+}
+
+func TestCmdSpacegenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "space.bst")
+	if err := os.WriteFile(spec, []byte("x = range(0, 8)\nconstraint soft odd: x % 2 == 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "c", "-c-main")
+	for _, want := range []string{"#include <stdint.h>", "beast_enumerate", "st->kills[0]++"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated C missing %q", want)
+		}
+	}
+	out = runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "go", "-pkg", "demo")
+	if !strings.Contains(out, "package demo") || !strings.Contains(out, "func Enumerate(") {
+		t.Errorf("generated Go malformed:\n%s", out)
+	}
+	// GEMM mode emits the full model problem.
+	out = runCmd(t, "./cmd/spacegen", "-gemm", "dgemm_nn", "-scale", "32", "-lang", "c")
+	if !strings.Contains(out, "cant_reshape_a1") {
+		t.Error("GEMM C missing correctness constraint")
+	}
+}
+
+func TestCmdGemmTuneSmoke(t *testing.T) {
+	out := runCmd(t, "./cmd/gemm-tune", "-scale", "32", "-topk", "3", "-strategy", "sample", "-samples", "200")
+	for _, want := range []string{"dgemm_nn", "strategy=random-sample", "winner", "GFLOP/W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gemm-tune output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, "./cmd/gemm-tune", "-scale", "32", "-funnel")
+	if !strings.Contains(out, "partial_warps") {
+		t.Errorf("funnel missing constraint:\n%s", out)
+	}
+}
+
+func TestCmdBenchloopsSmoke(t *testing.T) {
+	out := runCmd(t, "./cmd/benchloops", "-total", "50000", "-max-depth", "1")
+	for _, want := range []string{"fig17-interp", "fig18-vm", "fig19-closure", "fig19-handwritten", "Mit/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchloops output missing %q:\n%s", want, out)
+		}
+	}
+}

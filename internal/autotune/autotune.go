@@ -1,0 +1,463 @@
+// Package autotune assembles the full BEAST recipe of §I: "the variants
+// that pass the pruning process are compiled, run and benchmarked, and the
+// best performers are identified." Generation and pruning come from
+// internal/plan + internal/engine; benchmarking is any Objective function
+// (in this repository, the kernelsim performance models); this package
+// supplies the orchestration and the search strategies.
+//
+// Four strategies are provided:
+//
+//   - Exhaustive: benchmark every surviving tuple — the paper's mode.
+//   - RandomSample: enumerate (cheap, compiled) but benchmark only a
+//     uniform reservoir sample of survivors — the right trade when the
+//     objective is a real kernel launch rather than a model.
+//   - HillClimb: multi-restart coordinate local search.
+//   - Anneal: multi-restart simulated annealing, for rugged tiling
+//     landscapes.
+//
+// The last two are the "statistical search methods" the paper's conclusion
+// schedules as future work. Multi-objective (performance x energy) search
+// lives in pareto.go.
+package autotune
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// Objective scores a surviving tuple; higher is better. Implementations
+// must be safe for concurrent calls when Options.Workers > 1.
+type Objective func(tuple []int64) float64
+
+// Strategy selects the search mode.
+type Strategy uint8
+
+// Strategies.
+const (
+	Exhaustive Strategy = iota
+	RandomSample
+	HillClimb
+	Anneal
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Exhaustive:
+		return "exhaustive"
+	case RandomSample:
+		return "random-sample"
+	case HillClimb:
+		return "hill-climb"
+	case Anneal:
+		return "simulated-annealing"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Options configure a tuning run.
+type Options struct {
+	Strategy Strategy
+	// TopK is how many best configurations to keep (default 10).
+	TopK int
+	// Workers parallelizes enumeration (and hence objective calls).
+	Workers int
+	// Samples is the benchmark budget for RandomSample (default 1000).
+	Samples int
+	// Seed drives the random strategies (default 1).
+	Seed int64
+	// Restarts and Steps bound HillClimb (defaults 16 and 200).
+	Restarts, Steps int
+}
+
+// Result is one scored configuration.
+type Result struct {
+	Tuple []int64
+	Score float64
+}
+
+// Report is the outcome of a tuning run.
+type Report struct {
+	Best      []Result // descending by score
+	Stats     *engine.Stats
+	Evaluated int64 // objective calls
+	Survivors int64
+	Elapsed   time.Duration
+	Strategy  Strategy
+	IterNames []string
+	Program   *plan.Program
+}
+
+// Tuner binds a compiled space to an objective.
+type Tuner struct {
+	Prog      *plan.Program
+	Objective Objective
+}
+
+// New compiles s and returns a Tuner using the fast native engine.
+func New(s *space.Space, obj Objective) (*Tuner, error) {
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{Prog: prog, Objective: obj}, nil
+}
+
+// Run executes the tuning strategy.
+func (t *Tuner) Run(opts Options) (*Report, error) {
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 1000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 16
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 200
+	}
+	start := time.Now()
+	var rep *Report
+	var err error
+	switch opts.Strategy {
+	case Exhaustive:
+		rep, err = t.runExhaustive(opts)
+	case RandomSample:
+		rep, err = t.runRandomSample(opts)
+	case HillClimb:
+		rep, err = t.runHillClimb(opts)
+	case Anneal:
+		rep, err = t.RunAnneal(AnnealOptions{Options: opts})
+	default:
+		return nil, fmt.Errorf("autotune: unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Strategy = opts.Strategy
+	rep.IterNames = t.Prog.IterNames()
+	rep.Program = t.Prog
+	return rep, nil
+}
+
+// resultHeap is a min-heap of the best K results (smallest score at the
+// root for cheap eviction).
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *resultHeap) offer(r Result, k int) {
+	if h.Len() < k {
+		heap.Push(h, r)
+		return
+	}
+	if r.Score > (*h)[0].Score {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+func (h resultHeap) sorted() []Result {
+	out := make([]Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
+	eng, err := engine.NewCompiled(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu    sync.Mutex
+		best  resultHeap
+		evals int64
+	)
+	st, err := eng.Run(engine.Options{
+		Workers: opts.Workers,
+		OnTuple: func(tuple []int64) bool {
+			score := t.Objective(tuple)
+			cp := make([]int64, len(tuple))
+			copy(cp, tuple)
+			mu.Lock()
+			evals++
+			best.offer(Result{Tuple: cp, Score: score}, opts.TopK)
+			mu.Unlock()
+			return true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Best: best.sorted(), Stats: st, Evaluated: evals, Survivors: st.Survivors}, nil
+}
+
+func (t *Tuner) runRandomSample(opts Options) (*Report, error) {
+	eng, err := engine.NewCompiled(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	// Reservoir-sample survivors during (sequential) enumeration, then
+	// benchmark the sample. Uniformity over the survivor set is exact
+	// (Algorithm R); sampling concurrently would bias chunk boundaries,
+	// so enumeration runs single-threaded — it is the cheap phase.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	reservoir := make([][]int64, 0, opts.Samples)
+	var seen int64
+	st, err := eng.Run(engine.Options{
+		OnTuple: func(tuple []int64) bool {
+			seen++
+			if len(reservoir) < opts.Samples {
+				cp := make([]int64, len(tuple))
+				copy(cp, tuple)
+				reservoir = append(reservoir, cp)
+				return true
+			}
+			if j := rng.Int63n(seen); j < int64(opts.Samples) {
+				copy(reservoir[j], tuple)
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var best resultHeap
+	for _, tuple := range reservoir {
+		best.offer(Result{Tuple: tuple, Score: t.Objective(tuple)}, opts.TopK)
+	}
+	return &Report{
+		Best: best.sorted(), Stats: st,
+		Evaluated: int64(len(reservoir)), Survivors: st.Survivors,
+	}, nil
+}
+
+// Render formats the report as a fixed-width table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy=%s survivors=%d benchmarked=%d elapsed=%s\n",
+		r.Strategy, r.Survivors, r.Evaluated, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-6s %12s  %s\n", "rank", "score", strings.Join(r.IterNames, " "))
+	for i, res := range r.Best {
+		vals := make([]string, len(res.Tuple))
+		for j, v := range res.Tuple {
+			vals[j] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "%-6d %12.3f  %s\n", i+1, res.Score, strings.Join(vals, " "))
+	}
+	return b.String()
+}
+
+// Describe returns a map from iterator name to value for a tuple.
+func (r *Report) Describe(res Result) map[string]int64 {
+	out := make(map[string]int64, len(r.IterNames))
+	for i, n := range r.IterNames {
+		out[n] = res.Tuple[i]
+	}
+	return out
+}
+
+// pointChecker re-evaluates a full tuple against every derived variable
+// and constraint, independent of loop structure. It serves the hill
+// climber, which jumps around the space instead of enumerating it.
+type pointChecker struct {
+	prog  *plan.Program
+	steps []plan.Step
+	env   *expr.Env
+}
+
+func newPointChecker(prog *plan.Program) *pointChecker {
+	var steps []plan.Step
+	steps = append(steps, prog.Prelude...)
+	for _, lp := range prog.Loops {
+		steps = append(steps, lp.Steps...)
+	}
+	return &pointChecker{prog: prog, steps: steps, env: prog.NewEnv()}
+}
+
+// valid reports whether the tuple satisfies every constraint; it also
+// leaves the environment loaded for domain materialization.
+func (pc *pointChecker) valid(tuple []int64) bool {
+	for i, lp := range pc.prog.Loops {
+		pc.env.Slots[lp.Slot] = expr.IntVal(tuple[i])
+	}
+	for i := range pc.steps {
+		st := &pc.steps[i]
+		if st.Kind == plan.AssignStep {
+			pc.env.Slots[st.Slot] = st.Expr.Eval(pc.env)
+			continue
+		}
+		var kill bool
+		if st.Constraint.Deferred() {
+			kill = st.Constraint.Rejects(pc.env, st.ArgSlots)
+		} else {
+			kill = st.Expr.Eval(pc.env).Truthy()
+		}
+		if kill {
+			return false
+		}
+	}
+	return true
+}
+
+// domainValues materializes the domain of loop d for the outer values in
+// tuple[:d].
+func (pc *pointChecker) domainValues(tuple []int64, d int) []int64 {
+	// Bind outer loop variables and recompute their derived steps so the
+	// domain's dependencies are fresh.
+	for i := 0; i < d; i++ {
+		pc.env.Slots[pc.prog.Loops[i].Slot] = expr.IntVal(tuple[i])
+	}
+	for _, st := range pc.prog.Prelude {
+		if st.Kind == plan.AssignStep {
+			pc.env.Slots[st.Slot] = st.Expr.Eval(pc.env)
+		}
+	}
+	for i := 0; i < d; i++ {
+		for _, st := range pc.prog.Loops[i].Steps {
+			if st.Kind == plan.AssignStep {
+				pc.env.Slots[st.Slot] = st.Expr.Eval(pc.env)
+			}
+		}
+	}
+	lp := pc.prog.Loops[d]
+	var vals []int64
+	if lp.Iter.Kind == space.ExprIter {
+		vals = space.Materialize(lp.Domain, pc.env)
+	} else {
+		lp.Iter.Iterate(pc.env, lp.ArgSlots, func(v int64) bool {
+			vals = append(vals, v)
+			return true
+		})
+	}
+	return vals
+}
+
+// repair walks dimensions outward-in, snapping each coordinate to the
+// nearest value of its (context-dependent) domain. It returns false if
+// some domain is empty.
+func (pc *pointChecker) repair(tuple []int64) bool {
+	for d := range tuple {
+		vals := pc.domainValues(tuple, d)
+		if len(vals) == 0 {
+			return false
+		}
+		tuple[d] = nearest(vals, tuple[d])
+	}
+	return true
+}
+
+func nearest(vals []int64, want int64) int64 {
+	best := vals[0]
+	bestD := absI64(best - want)
+	for _, v := range vals[1:] {
+		if d := absI64(v - want); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	return best
+}
+
+func absI64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func (t *Tuner) runHillClimb(opts Options) (*Report, error) {
+	// Seed points: a uniform sample of survivors (reusing the reservoir
+	// machinery keeps seeding unbiased); if the space has few survivors
+	// this already visits most of it.
+	seedOpts := opts
+	seedOpts.Samples = opts.Restarts
+	seedOpts.TopK = opts.Restarts
+	seeds, err := t.runRandomSample(seedOpts)
+	if err != nil {
+		return nil, err
+	}
+	pc := newPointChecker(t.Prog)
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	var best resultHeap
+	var evals int64
+	score := func(tuple []int64) float64 {
+		evals++
+		return t.Objective(tuple)
+	}
+	for _, seed := range seeds.Best {
+		cur := append([]int64(nil), seed.Tuple...)
+		curScore := score(cur)
+		best.offer(Result{Tuple: append([]int64(nil), cur...), Score: curScore}, opts.TopK)
+		for step := 0; step < opts.Steps; step++ {
+			improved := false
+			// Propose moves in each dimension: neighbouring domain values.
+			dims := rng.Perm(len(cur))
+			for _, d := range dims {
+				vals := pc.domainValues(cur, d)
+				if len(vals) < 2 {
+					continue
+				}
+				idx := indexOf(vals, cur[d])
+				// Try distance-1 and distance-2 moves: the wider step
+				// escapes couplings like parity constraints, where every
+				// single-step move of one coordinate is infeasible.
+				for _, j := range []int{idx - 1, idx + 1, idx - 2, idx + 2} {
+					if j < 0 || j >= len(vals) || vals[j] == cur[d] {
+						continue
+					}
+					cand := append([]int64(nil), cur...)
+					cand[d] = vals[j]
+					if !pc.repair(cand) || !pc.valid(cand) {
+						continue
+					}
+					s := score(cand)
+					if s > curScore {
+						cur, curScore = cand, s
+						best.offer(Result{Tuple: append([]int64(nil), cand...), Score: s}, opts.TopK)
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if !improved {
+				break // local optimum
+			}
+		}
+	}
+	return &Report{
+		Best: best.sorted(), Stats: seeds.Stats,
+		Evaluated: evals, Survivors: seeds.Survivors,
+	}, nil
+}
+
+func indexOf(vals []int64, v int64) int {
+	for i, x := range vals {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}

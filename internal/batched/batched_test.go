@@ -1,0 +1,212 @@
+package batched
+
+import (
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+func tune(t *testing.T, n int64) (best float64, baseline float64, survivors int64) {
+	t.Helper()
+	dev := device.TeslaK40c()
+	cfg := DefaultConfig(n)
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+		k, err := FromTuple(tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Estimate(dev, k, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Best) == 0 {
+		t.Fatalf("n=%d: no survivors", n)
+	}
+	return rep.Best[0].Score, BaselineCuBLAS(dev, cfg), rep.Survivors
+}
+
+// TestTableISmall checks the "Batched factorizations (small size): up to
+// 1000%" row: the tuned kernel must beat the vendor-style baseline by a
+// large factor for tiny matrices, with the maximum advantage around an
+// order of magnitude.
+func TestTableISmall(t *testing.T) {
+	maxRatio := 0.0
+	for _, n := range []int64{8, 16, 24, 32} {
+		best, base, survivors := tune(t, n)
+		if base <= 0 {
+			t.Fatalf("n=%d: baseline is zero", n)
+		}
+		ratio := best / base
+		t.Logf("n=%-3d survivors=%-6d tuned=%7.1f GF baseline=%6.1f GF ratio=%.2fx", n, survivors, best, base, ratio)
+		if ratio < 2 {
+			t.Errorf("n=%d: ratio %.2fx; small batched sizes must show a multiple-x win", n, ratio)
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	if maxRatio < 6 || maxRatio > 20 {
+		t.Errorf("max small-size ratio %.1fx, want order-of-magnitude (paper: up to 10x)", maxRatio)
+	}
+}
+
+// TestTableIMedium checks the "Batched factorizations (medium size): up to
+// 300%" row.
+func TestTableIMedium(t *testing.T) {
+	maxRatio := 0.0
+	for _, n := range []int64{64, 128, 192, 256} {
+		best, base, survivors := tune(t, n)
+		ratio := best / base
+		t.Logf("n=%-3d survivors=%-6d tuned=%7.1f GF baseline=%6.1f GF ratio=%.2fx", n, survivors, best, base, ratio)
+		if ratio < 1.2 {
+			t.Errorf("n=%d: tuned kernel should still beat the baseline (got %.2fx)", n, ratio)
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	if maxRatio < 2 || maxRatio > 6 {
+		t.Errorf("max medium-size ratio %.1fx, want a few-x (paper: up to 3x)", maxRatio)
+	}
+}
+
+func TestSpaceStructure(t *testing.T) {
+	cfg := DefaultConfig(32)
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Iterators()); got != 4 {
+		t.Errorf("iterators = %d, want 4", got)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range prog.IterNames() {
+		if n != IterOrder[i] {
+			t.Errorf("loop %d = %s, want %s", i, n, IterOrder[i])
+		}
+	}
+	// Cross-engine agreement on this second space.
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := engine.CountSurvivors(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.CountSurvivors(engine.NewVM(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := engine.CountSurvivors(engine.NewInterp(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || b != c || a == 0 {
+		t.Errorf("engines disagree: %d %d %d", a, b, c)
+	}
+	// Every survivor respects the correctness constraints by construction.
+	_, _, err = engine.CollectTuples(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivorsRespectConstraints(t *testing.T) {
+	cfg := DefaultConfig(24)
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, err := engine.CollectTuples(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := cfg.Device
+	for _, tu := range tuples {
+		k, err := FromTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.N%k.NB != 0 {
+			t.Fatalf("survivor violates nb|n: %+v", k)
+		}
+		if k.DimX < k.NB {
+			t.Fatalf("survivor violates dim_x >= nb: %+v", k)
+		}
+		if (k.DimX*k.MPB)%dev.WarpSize != 0 {
+			t.Fatalf("survivor violates partial_warps: %+v", k)
+		}
+		if Estimate(dev, k, cfg) <= 0 {
+			t.Fatalf("survivor got zero estimate: %+v", k)
+		}
+	}
+}
+
+func TestEstimateDegenerate(t *testing.T) {
+	dev := device.TeslaK40c()
+	cfg := DefaultConfig(32)
+	for _, k := range []Kernel{
+		{},
+		{NB: 5, DimX: 32, MPB: 1, Unroll: 1},  // 5 does not divide 32
+		{NB: 32, DimX: 16, MPB: 1, Unroll: 1}, // dim_x < nb
+	} {
+		if got := Estimate(dev, k, cfg); got != 0 {
+			t.Errorf("degenerate kernel %+v scored %f", k, got)
+		}
+	}
+}
+
+func TestBaselineKernelRespectsLimits(t *testing.T) {
+	dev := device.TeslaK40c()
+	for _, n := range []int64{1, 2, 8, 24, 32, 100, 256, 512, 1024} {
+		k := BaselineKernel(n, dev)
+		if k.NB < 1 || (n%k.NB != 0 && k.NB != 1) {
+			t.Errorf("n=%d: baseline nb=%d does not divide", n, k.NB)
+		}
+		if n*k.NB*dev.FloatSize*2 > dev.MaxShmemPerMultiProcessor/4 && k.NB > 1 {
+			t.Errorf("n=%d: baseline panel too large", n)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{N: 0, Batch: 1, Device: device.TeslaK40c()}).Validate(); err == nil {
+		t.Error("zero N accepted")
+	}
+	if err := (Config{N: 4, Batch: 0, Device: device.TeslaK40c()}).Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if err := (Config{N: 4, Batch: 1}).Validate(); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := Space(Config{N: 0, Batch: 1, Device: device.TeslaK40c()}); err == nil {
+		t.Error("Space accepted invalid config")
+	}
+	if _, err := FromTuple([]int64{1}); err == nil {
+		t.Error("short tuple accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package batched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// The paper's reference [5] tunes batched Cholesky factorization *and
+// solve* — the triangular solves (TRSM) that consume the factors. This
+// file adds the solve kernel: its search space and performance model. The
+// workload is X = L^{-1} B for `batch` lower-triangular L of size n and
+// right-hand-side panels of width nrhs.
+
+// TRSMConfig selects one batched-TRSM tuning session.
+type TRSMConfig struct {
+	// N is the triangular matrix size.
+	N int64
+	// NRHS is the right-hand-side panel width.
+	NRHS int64
+	// Batch is the number of solves per call.
+	Batch int64
+	// Device supplies hardware parameters.
+	Device *device.Properties
+	// MinThreads is the occupancy floor.
+	MinThreads int64
+}
+
+// DefaultTRSMConfig returns a small-matrix batched solve on the paper's
+// device.
+func DefaultTRSMConfig(n int64) TRSMConfig {
+	return TRSMConfig{N: n, NRHS: 16, Batch: 10000, Device: device.TeslaK40c(), MinThreads: 128}
+}
+
+// Validate checks the configuration.
+func (c TRSMConfig) Validate() error {
+	if c.N < 1 || c.NRHS < 1 {
+		return fmt.Errorf("batched: trsm size %dx%d", c.N, c.NRHS)
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("batched: batch count %d", c.Batch)
+	}
+	if c.Device == nil {
+		return fmt.Errorf("batched: nil device")
+	}
+	return nil
+}
+
+// TRSMKernel is one point of the batched-TRSM search space.
+type TRSMKernel struct {
+	// NB is the diagonal-block width the kernel inverts in shared memory.
+	NB int64
+	// DimX is the thread count along the RHS panel.
+	DimX int64
+	// DimRHS is the number of right-hand-side columns each thread owns.
+	DimRHS int64
+	// MPB is the number of solves per thread block.
+	MPB int64
+}
+
+// TRSMIterOrder lists the iterators in plan order.
+var TRSMIterOrder = []string{"nb", "dim_x", "dim_rhs", "mpb"}
+
+// TRSMFromTuple decodes an enumeration tuple in TRSMIterOrder.
+func TRSMFromTuple(t []int64) (TRSMKernel, error) {
+	if len(t) != 4 {
+		return TRSMKernel{}, fmt.Errorf("batched: trsm tuple has %d values, want 4", len(t))
+	}
+	return TRSMKernel{NB: t[0], DimX: t[1], DimRHS: t[2], MPB: t[3]}, nil
+}
+
+// TRSMSpace builds the batched-TRSM search space.
+func TRSMSpace(cfg TRSMConfig) (*space.Space, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev := cfg.Device
+	ref := expr.NewRef
+	lit := expr.IntLit
+
+	s := space.New()
+	s.IntSetting("n", cfg.N)
+	s.IntSetting("nrhs", cfg.NRHS)
+	s.IntSetting("batch", cfg.Batch)
+	s.IntSetting("max_threads_per_block", dev.MaxThreadsPerBlock)
+	s.IntSetting("max_shared_mem_per_block", dev.MaxSharedMemPerBlock)
+	s.IntSetting("warp_size", dev.WarpSize)
+	s.IntSetting("max_shmem_per_multi_processor", dev.MaxShmemPerMultiProcessor)
+	s.IntSetting("max_blocks_per_multi_processor", dev.MaxBlocksPerMultiProcessor)
+	s.IntSetting("float_size", dev.FloatSize)
+	s.IntSetting("min_threads", cfg.MinThreads)
+
+	s.Range("nb", lit(1), expr.Add(ref("n"), lit(1)))
+	s.Range("dim_x", lit(1), expr.Add(expr.MinOf(ref("nrhs"), lit(64)), lit(1)))
+	s.IntList("dim_rhs", 1, 2, 4)
+	s.Range("mpb", lit(1), lit(9))
+
+	// Shared memory holds the nb x nb diagonal block plus an nb x nrhs
+	// panel slice per resident matrix (double precision: 2 words).
+	s.Derived("threads_per_block", expr.Mul(ref("dim_x"), ref("mpb")))
+	s.Derived("shmem_per_block",
+		expr.Mul(expr.Mul(expr.Mul(ref("mpb"),
+			expr.Add(expr.Mul(ref("nb"), ref("nb")), expr.Mul(ref("nb"), ref("nrhs")))),
+			ref("float_size")), lit(2)))
+	s.Derived("max_blocks_by_shmem",
+		expr.MinOf(expr.Div(ref("max_shmem_per_multi_processor"), ref("shmem_per_block")),
+			ref("max_blocks_per_multi_processor")))
+	s.Derived("max_threads_by_shmem", expr.Mul(ref("max_blocks_by_shmem"), ref("threads_per_block")))
+
+	s.Constrain("over_max_threads", space.Hard,
+		expr.Gt(ref("threads_per_block"), ref("max_threads_per_block")))
+	s.Constrain("over_max_shmem", space.Hard,
+		expr.Gt(ref("shmem_per_block"), ref("max_shared_mem_per_block")))
+	s.Constrain("partial_warps", space.Soft,
+		expr.Ne(expr.Mod(ref("threads_per_block"), ref("warp_size")), lit(0)))
+	s.Constrain("low_occupancy_shmem", space.Soft,
+		expr.Lt(ref("max_threads_by_shmem"), ref("min_threads")))
+	s.Constrain("nb_divides_n", space.Correctness,
+		expr.Ne(expr.Mod(ref("n"), ref("nb")), lit(0)))
+	s.Constrain("rhs_coverage", space.Correctness,
+		expr.Ne(expr.Mod(ref("nrhs"), expr.Mul(ref("dim_x"), ref("dim_rhs"))), lit(0)))
+
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// trsmFlops is the operation count of one n x n triangular solve against
+// nrhs right-hand sides.
+func trsmFlops(n, nrhs int64) float64 {
+	return float64(n) * float64(n) * float64(nrhs)
+}
+
+// EstimateTRSM models the batched solve kernel's throughput in GFLOP/s.
+func EstimateTRSM(dev *device.Properties, k TRSMKernel, cfg TRSMConfig) float64 {
+	if k.NB < 1 || k.DimX < 1 || k.DimRHS < 1 || k.MPB < 1 {
+		return 0
+	}
+	if cfg.N%k.NB != 0 || cfg.NRHS%(k.DimX*k.DimRHS) != 0 {
+		return 0
+	}
+	threads := k.DimX * k.MPB
+	shmem := k.MPB * (k.NB*k.NB + k.NB*cfg.NRHS) * dev.FloatSize * 2
+	regs := k.DimRHS*2 + 16
+	occ := dev.Occupancy(threads, regs, shmem)
+	if occ.BlocksPerSM == 0 {
+		return 0
+	}
+
+	flopsM := trsmFlops(cfg.N, cfg.NRHS)
+	fmaLanes := float64(dev.FMAsPerSM) / float64(dev.DPUnitRatio())
+
+	// Issue efficiency: the substitution sweep is regular (better than the
+	// factorization's panel), but the forward dependency between diagonal
+	// blocks is serial.
+	eff := 0.55
+	if k.DimRHS > 1 {
+		eff += 0.08 * math.Log2(float64(k.DimRHS)) // register blocking on RHS
+	}
+	eff *= math.Min(1, float64(occ.ActiveWarps)/24)
+	lanesPerBlock := math.Min(float64(threads), fmaLanes/float64(occ.BlocksPerSM))
+	computeCycles := (flopsM / 2) * float64(k.MPB) / (lanesPerBlock * eff)
+
+	steps := cfg.N / k.NB
+	critical := float64(steps) * (40 + float64(k.NB)*6) // per-block triangular dependency
+	cyclesPerBlock := math.Max(computeCycles, critical) + 0.2*math.Min(computeCycles, critical)
+
+	blocks := (cfg.Batch + k.MPB - 1) / k.MPB
+	wave := float64(dev.MultiProcessors) * float64(occ.BlocksPerSM)
+	waves := math.Ceil(float64(blocks) / wave)
+	computeSeconds := waves * cyclesPerBlock / (float64(dev.ClockMHz) * 1e6)
+
+	// Traffic: L read once, B read + X written.
+	bytes := float64(cfg.Batch) * (float64(cfg.N*cfg.N)/2 + 2*float64(cfg.N*cfg.NRHS)) *
+		float64(dev.FloatSize) * 2
+	memSeconds := bytes / (float64(dev.MemBandwidthGBs) * 1e9 * 0.85)
+
+	seconds := math.Max(computeSeconds, memSeconds)
+	return float64(cfg.Batch) * flopsM / seconds / 1e9
+}
+
+// BaselineTRSM models the vendor path: a fixed-configuration solve kernel
+// with per-matrix dispatch, as BaselineCuBLAS does for the factorization.
+func BaselineTRSM(dev *device.Properties, cfg TRSMConfig) float64 {
+	nb := int64(32)
+	for nb > 1 && (cfg.N%nb != 0 || nb > cfg.N ||
+		(nb*nb+nb*cfg.NRHS)*dev.FloatSize*2 > dev.MaxShmemPerMultiProcessor/4) {
+		nb /= 2
+	}
+	dimX := int64(32)
+	for cfg.NRHS%dimX != 0 && dimX > 1 {
+		dimX /= 2
+	}
+	k := TRSMKernel{NB: nb, DimX: dimX, DimRHS: 1, MPB: 1}
+	raw := EstimateTRSM(dev, k, cfg)
+	if raw == 0 {
+		return 0
+	}
+	const genericPenalty = 0.70
+	const perMatrixDispatch = 1.5e-6 / 32
+	flopsTotal := float64(cfg.Batch) * trsmFlops(cfg.N, cfg.NRHS)
+	seconds := flopsTotal / (raw * 1e9 * genericPenalty)
+	seconds += float64(cfg.Batch) * perMatrixDispatch
+	return flopsTotal / seconds / 1e9
+}

@@ -1,0 +1,128 @@
+package batched
+
+import (
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+func tuneTRSM(t *testing.T, n int64) (best, baseline float64, survivors int64) {
+	t.Helper()
+	dev := device.TeslaK40c()
+	cfg := DefaultTRSMConfig(n)
+	s, err := TRSMSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+		k, err := TRSMFromTuple(tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EstimateTRSM(dev, k, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Best) == 0 {
+		t.Fatalf("n=%d: no TRSM survivors", n)
+	}
+	return rep.Best[0].Score, BaselineTRSM(dev, cfg), rep.Survivors
+}
+
+// The solve side of Table I's batched rows: tuned beats baseline by a
+// multiple for small matrices.
+func TestTRSMTunedBeatsBaseline(t *testing.T) {
+	for _, n := range []int64{8, 16, 32, 64, 128} {
+		best, base, survivors := tuneTRSM(t, n)
+		if base <= 0 {
+			t.Fatalf("n=%d: baseline zero", n)
+		}
+		ratio := best / base
+		t.Logf("trsm n=%-4d survivors=%-6d tuned=%8.1f base=%8.1f ratio=%.2fx",
+			n, survivors, best, base, ratio)
+		if ratio < 1.3 {
+			t.Errorf("n=%d: tuned solve only %.2fx of baseline", n, ratio)
+		}
+		if ratio > 30 {
+			t.Errorf("n=%d: ratio %.1fx implausibly large", n, ratio)
+		}
+	}
+}
+
+func TestTRSMSpaceCrossEngine(t *testing.T) {
+	cfg := DefaultTRSMConfig(32)
+	s, err := TRSMSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range prog.IterNames() {
+		if n != TRSMIterOrder[i] {
+			t.Errorf("loop %d = %s, want %s", i, n, TRSMIterOrder[i])
+		}
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := engine.CountSurvivors(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.CountSurvivors(engine.NewVM(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a == 0 {
+		t.Errorf("engines disagree or empty: %d vs %d", a, b)
+	}
+	// Every survivor is estimable and respects divisibility.
+	tuples, _, err := engine.CollectTuples(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		k, err := TRSMFromTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.N%k.NB != 0 || cfg.NRHS%(k.DimX*k.DimRHS) != 0 {
+			t.Fatalf("survivor violates divisibility: %+v", k)
+		}
+		if EstimateTRSM(cfg.Device, k, cfg) <= 0 {
+			t.Fatalf("survivor got zero estimate: %+v", k)
+		}
+	}
+}
+
+func TestTRSMDegenerate(t *testing.T) {
+	dev := device.TeslaK40c()
+	cfg := DefaultTRSMConfig(32)
+	for _, k := range []TRSMKernel{
+		{},
+		{NB: 5, DimX: 16, DimRHS: 1, MPB: 1},  // 5 does not divide 32
+		{NB: 32, DimX: 3, DimRHS: 1, MPB: 1},  // 3*1 does not divide nrhs=16
+		{NB: 32, DimX: 16, DimRHS: 4, MPB: 1}, // 16*4 does not divide 16
+	} {
+		if got := EstimateTRSM(dev, k, cfg); got != 0 {
+			t.Errorf("degenerate TRSM kernel %+v scored %f", k, got)
+		}
+	}
+	if err := (TRSMConfig{N: 0, NRHS: 1, Batch: 1, Device: dev}).Validate(); err == nil {
+		t.Error("zero N accepted")
+	}
+	if _, err := TRSMFromTuple([]int64{1}); err == nil {
+		t.Error("short tuple accepted")
+	}
+}

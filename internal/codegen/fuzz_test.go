@@ -1,0 +1,134 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// randomTranslatableSpace builds a pseudo-random space restricted to the
+// constructs the C generator accepts: expression iterators (ranges with
+// literal and dynamic steps, lists, conditionals over range/list shapes,
+// closed algebra) and expression constraints.
+func randomTranslatableSpace(rng *rand.Rand) *space.Space {
+	s := space.New()
+	s.IntSetting("s0", int64(rng.Intn(6)+2))
+	avail := []string{"s0"}
+	randRef := func() expr.Expr { return expr.NewRef(avail[rng.Intn(len(avail))]) }
+	var randE func(d int) expr.Expr
+	randE = func(d int) expr.Expr {
+		if d <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return expr.IntLit(int64(rng.Intn(9) - 2))
+			}
+			return randRef()
+		}
+		a, b := randE(d-1), randE(d-1)
+		switch rng.Intn(8) {
+		case 0:
+			return expr.Add(a, b)
+		case 1:
+			return expr.Sub(a, b)
+		case 2:
+			return expr.Mul(a, b)
+		case 3:
+			return expr.Div(a, b)
+		case 4:
+			return expr.Mod(a, b)
+		case 5:
+			return expr.MinOf(a, b)
+		case 6:
+			return expr.MaxOf(a, b)
+		default:
+			return expr.If(expr.Gt(a, expr.IntLit(0)), a, b)
+		}
+	}
+	bound := func() expr.Expr {
+		return expr.Add(expr.MaxOf(expr.Mod(randE(1), expr.IntLit(4)), expr.IntLit(0)), expr.IntLit(2))
+	}
+	nIters := rng.Intn(2) + 2
+	for i := 0; i < nIters; i++ {
+		name := fmt.Sprintf("i%d", i)
+		switch rng.Intn(5) {
+		case 0:
+			s.Range(name, expr.IntLit(0), bound())
+		case 1:
+			s.RangeStep(name, bound(), expr.IntLit(0), expr.IntLit(-1))
+		case 2:
+			// Dynamic positive step.
+			s.RangeStep(name, expr.IntLit(0), expr.IntLit(int64(rng.Intn(8)+4)),
+				expr.Add(expr.MaxOf(expr.Mod(randE(1), expr.IntLit(3)), expr.IntLit(0)), expr.IntLit(1)))
+		case 3:
+			s.DomainIter(name, space.NewCond(
+				expr.Gt(randE(1), expr.IntLit(1)),
+				space.NewRange(expr.IntLit(0), bound()),
+				space.NewRangeStep(expr.IntLit(1), bound(), expr.IntLit(2)),
+			))
+		default:
+			s.DomainIter(name, space.Union(
+				space.NewIntList(int64(rng.Intn(4)), int64(rng.Intn(4)+3)),
+				space.NewRange(expr.IntLit(0), expr.IntLit(int64(rng.Intn(3)+1))),
+			))
+		}
+		avail = append(avail, name)
+	}
+	if rng.Intn(2) == 0 {
+		s.Derived("dv", randE(2))
+		avail = append(avail, "dv")
+	}
+	classes := []space.Class{space.Hard, space.Soft, space.Correctness}
+	for i := 0; i < rng.Intn(3); i++ {
+		s.Constrain(fmt.Sprintf("c%d", i), classes[rng.Intn(3)],
+			expr.Lt(randE(2), randE(2)))
+	}
+	return s
+}
+
+// TestFuzzGeneratedCAgainstEngine compiles random translatable spaces to C,
+// builds them with the host compiler, runs them, and checks survivors,
+// visits, and per-constraint kills against the native engine — the same
+// cross-backend soundness property as the engine fuzz, extended through
+// the paper's actual artifact (generated standard C).
+func TestFuzzGeneratedCAgainstEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("C fuzz skipped in -short mode")
+	}
+	haveCC(t)
+	rng := rand.New(rand.NewSource(1545)) // the paper's first page number
+	trials := 40
+	for trial := 0; trial < trials; trial++ {
+		s := randomTranslatableSpace(rng)
+		prog, err := plan.Compile(s, plan.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		comp, err := engine.NewCompiled(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := comp.Run(engine.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		src, err := C(prog, COptions{Main: true})
+		if err != nil {
+			t.Fatalf("trial %d: C generation: %v\n%s", trial, err, prog.Describe())
+		}
+		survivors, visits, kills := runGeneratedC(t, src)
+		if survivors != want.Survivors || visits != want.TotalVisits() {
+			t.Fatalf("trial %d: C survivors/visits = %d/%d, engine = %d/%d\nnest:\n%s",
+				trial, survivors, visits, want.Survivors, want.TotalVisits(), prog.Describe())
+		}
+		for i, c := range prog.Constraints {
+			if kills[c.Name] != want.Kills[i] {
+				t.Fatalf("trial %d: C kills[%s] = %d, engine = %d\nnest:\n%s",
+					trial, c.Name, kills[c.Name], want.Kills[i], prog.Describe())
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package core ties the BEAST system together: one Pipeline value takes a
+// declarative search space through the complete flow of the paper —
+// dependency analysis and planning (§X), enumeration with pruning under
+// any backend (§XI), translation to standard C or Go, reporting, and
+// visualization. The cmd/ tools and examples compose the same pieces by
+// hand for flexibility; Pipeline is the batteries-included path for
+// programs that just want "space in, results out".
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/autotune"
+	"repro/internal/codegen"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/space"
+	"repro/internal/speclang"
+	"repro/internal/viz"
+)
+
+// Backend selects an evaluation engine.
+type Backend uint8
+
+// Backends, ordered slowest to fastest.
+const (
+	// Interp is the boxed tree-walking interpreter (the Python model).
+	Interp Backend = iota
+	// VM is the bytecode virtual machine (the Lua model).
+	VM
+	// Compiled is the closure-compiled native backend (the generated-C
+	// model) — the default.
+	Compiled
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Interp:
+		return "interp"
+	case VM:
+		return "vm"
+	case Compiled:
+		return "compiled"
+	default:
+		return fmt.Sprintf("Backend(%d)", uint8(b))
+	}
+}
+
+// Pipeline is a planned search space ready to enumerate, tune, translate,
+// and report.
+type Pipeline struct {
+	Space   *space.Space
+	Program *plan.Program
+
+	engines map[Backend]engine.Engine
+}
+
+// New plans a space into a pipeline.
+func New(s *space.Space, opts plan.Options) (*Pipeline, error) {
+	prog, err := plan.Compile(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Space: s, Program: prog, engines: make(map[Backend]engine.Engine)}, nil
+}
+
+// FromSpec parses spec-language source and plans it.
+func FromSpec(src string, opts plan.Options) (*Pipeline, error) {
+	s, err := speclang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, opts)
+}
+
+// Engine returns (building lazily) the requested backend.
+func (p *Pipeline) Engine(b Backend) (engine.Engine, error) {
+	if e, ok := p.engines[b]; ok {
+		return e, nil
+	}
+	var (
+		e   engine.Engine
+		err error
+	)
+	switch b {
+	case Interp:
+		e = engine.NewInterp(p.Program)
+	case VM:
+		e = engine.NewVM(p.Program)
+	case Compiled:
+		e, err = engine.NewCompiled(p.Program)
+	default:
+		err = fmt.Errorf("core: unknown backend %v", b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.engines[b] = e
+	return e, nil
+}
+
+// Enumerate runs the space under the given backend.
+func (p *Pipeline) Enumerate(b Backend, opts engine.Options) (*engine.Stats, error) {
+	e, err := p.Engine(b)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
+
+// Count enumerates with the fastest backend and returns the survivor count.
+func (p *Pipeline) Count(workers int) (int64, error) {
+	st, err := p.Enumerate(Compiled, engine.Options{Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	return st.Survivors, nil
+}
+
+// Tune couples the pipeline to an objective and runs the given strategy.
+func (p *Pipeline) Tune(objective autotune.Objective, opts autotune.Options) (*autotune.Report, error) {
+	t := &autotune.Tuner{Prog: p.Program, Objective: objective}
+	return t.Run(opts)
+}
+
+// TunePareto runs multi-objective search and returns the Pareto front.
+func (p *Pipeline) TunePareto(objectives map[string]autotune.Objective, opts autotune.Options) (*autotune.MultiReport, error) {
+	t := &autotune.Tuner{Prog: p.Program}
+	return t.RunPareto(objectives, opts)
+}
+
+// GenerateC translates the planned space to standard C.
+func (p *Pipeline) GenerateC(opts codegen.COptions) (string, error) {
+	return codegen.C(p.Program, opts)
+}
+
+// GenerateGo translates the planned space to Go source.
+func (p *Pipeline) GenerateGo(opts codegen.GoOptions) (string, error) {
+	return codegen.Go(p.Program, opts)
+}
+
+// DOT renders the dependency DAG in Graphviz format (Figure 16).
+func (p *Pipeline) DOT(title string) string {
+	return p.Program.Graph.DOT(title)
+}
+
+// Describe renders the planned loop nest.
+func (p *Pipeline) Describe() string { return p.Program.Describe() }
+
+// Funnel renders the text pruning funnel for a completed run.
+func (p *Pipeline) Funnel(st *engine.Stats) string {
+	return viz.ASCIIFunnel(p.Program, st)
+}
+
+// RadialSVG renders the radial pruning view for a completed run.
+func (p *Pipeline) RadialSVG(st *engine.Stats) string {
+	return viz.RadialSVG(p.Program, st)
+}
+
+// FunnelSVG renders the bar-chart pruning view for a completed run.
+func (p *Pipeline) FunnelSVG(st *engine.Stats) string {
+	return viz.FunnelSVG(p.Program, st)
+}
+
+// CrossCheck enumerates under every backend and verifies they agree on
+// survivors and per-constraint kill counts — the system's core soundness
+// property, made available to users validating their own spaces (host
+// iterators and constraints run arbitrary code the planner cannot verify).
+func (p *Pipeline) CrossCheck(opts engine.Options) (*engine.Stats, error) {
+	var ref *engine.Stats
+	var refName string
+	for _, b := range []Backend{Compiled, VM, Interp} {
+		st, err := p.Enumerate(b, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v backend: %w", b, err)
+		}
+		if ref == nil {
+			ref, refName = st, b.String()
+			continue
+		}
+		if st.Survivors != ref.Survivors {
+			return nil, fmt.Errorf("core: %v found %d survivors, %s found %d",
+				b, st.Survivors, refName, ref.Survivors)
+		}
+		for i := range ref.Kills {
+			if st.Kills[i] != ref.Kills[i] {
+				return nil, fmt.Errorf("core: %v and %s disagree on constraint %q kills (%d vs %d)",
+					b, refName, p.Program.Constraints[i].Name, st.Kills[i], ref.Kills[i])
+			}
+		}
+	}
+	return ref, nil
+}

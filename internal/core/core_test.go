@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/codegen"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+const demoSpec = `
+setting n = 10
+setting warp = 4
+x = range(1, n + 1)
+y = range(x, n + 1, x)
+let xy = x * y
+constraint hard big:  xy > n * 6
+constraint soft warped: xy % warp != 0
+`
+
+func demoPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := FromSpec(demoSpec, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := demoPipeline(t)
+
+	// Enumeration under each backend and the cross-check.
+	st, err := p.CrossCheck(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Survivors == 0 {
+		t.Fatal("no survivors")
+	}
+	n, err := p.Count(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Survivors {
+		t.Errorf("Count = %d, CrossCheck = %d", n, st.Survivors)
+	}
+
+	// Reports.
+	if d := p.Describe(); !strings.Contains(d, "for x in") {
+		t.Errorf("Describe:\n%s", d)
+	}
+	if dot := p.DOT("demo"); !strings.Contains(dot, `"x" -> "y"`) {
+		t.Errorf("DOT:\n%s", dot)
+	}
+	if f := p.Funnel(st); !strings.Contains(f, "warped") {
+		t.Errorf("Funnel:\n%s", f)
+	}
+	if svg := p.RadialSVG(st); !strings.HasPrefix(svg, "<svg") {
+		t.Error("RadialSVG malformed")
+	}
+	if svg := p.FunnelSVG(st); !strings.Contains(svg, "big") {
+		t.Error("FunnelSVG missing constraint")
+	}
+
+	// Translation.
+	csrc, err := p.GenerateC(codegen.COptions{Main: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csrc, "beast_enumerate") {
+		t.Error("C output malformed")
+	}
+	gosrc, err := p.GenerateGo(codegen.GoOptions{Package: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gosrc, "package demo") {
+		t.Error("Go output malformed")
+	}
+
+	// Tuning.
+	rep, err := p.Tune(func(tu []int64) float64 {
+		return float64(tu[0] * tu[1])
+	}, autotune.Options{Strategy: autotune.Exhaustive, TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Best) != 1 || rep.Best[0].Score <= 0 {
+		t.Errorf("tune report: %+v", rep.Best)
+	}
+	// The hard constraint caps xy at 60.
+	if rep.Best[0].Score > 60 {
+		t.Errorf("winner violates the hard constraint: %v", rep.Best[0])
+	}
+
+	// Multi-objective.
+	mrep, err := p.TunePareto(map[string]autotune.Objective{
+		"up":   func(tu []int64) float64 { return float64(tu[0]) },
+		"down": func(tu []int64) float64 { return -float64(tu[0]) },
+	}, autotune.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrep.Front) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := FromSpec("x = ", plan.Options{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	s := space.New()
+	s.Derived("a", expr.NewRef("b"))
+	s.Derived("b", expr.NewRef("a"))
+	if _, err := New(s, plan.Options{}); err == nil {
+		t.Error("cyclic space accepted")
+	}
+	p := demoPipeline(t)
+	if _, err := p.Engine(Backend(42)); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if Backend(42).String() == "" || Compiled.String() != "compiled" {
+		t.Error("backend names wrong")
+	}
+}
+
+func TestCrossCheckDetectsDivergence(t *testing.T) {
+	// A deliberately non-deterministic deferred constraint makes the
+	// backends disagree; CrossCheck must report it rather than return
+	// silently wrong results.
+	s := space.New()
+	s.Range("x", expr.IntLit(0), expr.IntLit(10))
+	calls := 0
+	s.DeferredConstraint("flaky", space.Soft, []string{"x"}, func(args []expr.Value) bool {
+		calls++
+		return calls%7 == 0 // depends on call order across runs
+	})
+	p, err := New(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CrossCheck(engine.Options{}); err == nil {
+		t.Error("CrossCheck accepted a non-deterministic constraint")
+	}
+}
+
+func TestEngineCaching(t *testing.T) {
+	p := demoPipeline(t)
+	a, err := p.Engine(VM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Engine(VM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("engines not cached")
+	}
+}

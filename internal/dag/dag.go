@@ -1,0 +1,366 @@
+// Package dag implements the directed-acyclic-graph model of iterator and
+// constraint dependencies from §X of the paper: vertices are the named
+// entities of a search space, edges run from a definition to its users, and
+// the *level sets* of the graph — antichains of mutually unordered vertices —
+// determine which loops may be interchanged and where constraints may be
+// hoisted in the generated loop nest.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a DAG over string-named vertices. Vertices carry an arbitrary
+// category label used by DOT export (the paper's Figure 16 renders iterators
+// as blue circles and constraints as red octagons).
+type Graph struct {
+	names    []string // insertion order
+	index    map[string]int
+	category []string
+	succs    [][]int // edges u -> v: v uses u
+	preds    [][]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// AddVertex adds a vertex with a category label, or updates the category if
+// the vertex exists. It returns the vertex id.
+func (g *Graph) AddVertex(name, category string) int {
+	if i, ok := g.index[name]; ok {
+		if category != "" {
+			g.category[i] = category
+		}
+		return i
+	}
+	i := len(g.names)
+	g.index[name] = i
+	g.names = append(g.names, name)
+	g.category = append(g.category, category)
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return i
+}
+
+// AddEdge adds the edge from -> to (to depends on from). Missing vertices
+// are created with an empty category. Duplicate edges are ignored.
+func (g *Graph) AddEdge(from, to string) {
+	u := g.AddVertex(from, "")
+	v := g.AddVertex(to, "")
+	for _, w := range g.succs[u] {
+		if w == v {
+			return
+		}
+	}
+	g.succs[u] = append(g.succs[u], v)
+	g.preds[v] = append(g.preds[v], u)
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.names) }
+
+// Name returns the name of vertex i.
+func (g *Graph) Name(i int) string { return g.names[i] }
+
+// Category returns the category of the named vertex.
+func (g *Graph) Category(name string) string {
+	if i, ok := g.index[name]; ok {
+		return g.category[i]
+	}
+	return ""
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Graph) HasEdge(from, to string) bool {
+	u, ok := g.index[from]
+	if !ok {
+		return false
+	}
+	v, ok := g.index[to]
+	if !ok {
+		return false
+	}
+	for _, w := range g.succs[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Predecessors returns the names of the direct dependencies of name.
+func (g *Graph) Predecessors(name string) []string {
+	i, ok := g.index[name]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(g.preds[i]))
+	for j, p := range g.preds[i] {
+		out[j] = g.names[p]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Successors returns the names of the direct users of name.
+func (g *Graph) Successors(name string) []string {
+	i, ok := g.index[name]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(g.succs[i]))
+	for j, s := range g.succs[i] {
+		out[j] = g.names[s]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CycleError reports a dependency cycle, listing one witness cycle in order.
+type CycleError struct{ Cycle []string }
+
+func (e *CycleError) Error() string {
+	return "dag: dependency cycle: " + strings.Join(e.Cycle, " -> ")
+}
+
+// findCycle returns one cycle if the graph has any, using iterative DFS with
+// three-color marking.
+func (g *Graph) findCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.names))
+	parent := make([]int, len(g.names))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []string
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.succs[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Reconstruct the cycle v -> ... -> u -> v.
+				cycle = []string{g.names[v]}
+				for w := u; w != v && w != -1; w = parent[w] {
+					cycle = append(cycle, g.names[w])
+				}
+				cycle = append(cycle, g.names[v])
+				// Reverse into dependency order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range g.names {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Validate returns a CycleError if the graph is not acyclic.
+func (g *Graph) Validate() error {
+	if c := g.findCycle(); c != nil {
+		return &CycleError{Cycle: c}
+	}
+	return nil
+}
+
+// TopoOrder returns the vertex names in a topological order that is stable
+// with respect to insertion order (Kahn's algorithm with an ordered ready
+// set): among simultaneously-ready vertices, the earlier-declared one comes
+// first. This makes planning deterministic, which the engines' cross-backend
+// equivalence tests rely on.
+func (g *Graph) TopoOrder() ([]string, error) {
+	indeg := make([]int, len(g.names))
+	for _, ss := range g.succs {
+		for _, v := range ss {
+			indeg[v]++
+		}
+	}
+	// ready is kept sorted by vertex id (= insertion order).
+	var ready []int
+	for u := range g.names {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, g.names[u])
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				// Insert keeping ready sorted.
+				pos := sort.SearchInts(ready, v)
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = v
+			}
+		}
+	}
+	if len(order) != len(g.names) {
+		if c := g.findCycle(); c != nil {
+			return nil, &CycleError{Cycle: c}
+		}
+		return nil, fmt.Errorf("dag: topological sort left %d vertices unordered", len(g.names)-len(order))
+	}
+	return order, nil
+}
+
+// Levels returns the level sets L0, L1, ... of §X.B: Level(v) = 0 for
+// vertices with no dependencies, otherwise 1 + max(Level(dep)). Vertices
+// within one level are mutually unordered, so loops drawn from the same
+// level may be interchanged freely. Names within a level are returned in
+// insertion order.
+func (g *Graph) Levels() ([][]string, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, len(g.names))
+	maxLevel := 0
+	for _, name := range topo {
+		u := g.index[name]
+		l := 0
+		for _, p := range g.preds[u] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[u] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]string, maxLevel+1)
+	for u, name := range g.names {
+		out[level[u]] = append(out[level[u]], name)
+	}
+	return out, nil
+}
+
+// Level returns the level-set index of the named vertex, or -1 if the
+// vertex is unknown or the graph is cyclic.
+func (g *Graph) Level(name string) int {
+	levels, err := g.Levels()
+	if err != nil {
+		return -1
+	}
+	for l, names := range levels {
+		for _, n := range names {
+			if n == name {
+				return l
+			}
+		}
+	}
+	return -1
+}
+
+// Reaches reports whether from precedes to in the dependency order (there is
+// a nonempty path from -> to), the successor relation ≻ of §X.B.
+func (g *Graph) Reaches(from, to string) bool {
+	u, ok := g.index[from]
+	if !ok {
+		return false
+	}
+	v, ok := g.index[to]
+	if !ok {
+		return false
+	}
+	seen := make([]bool, len(g.names))
+	stack := append([]int(nil), g.succs[u]...)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w == v {
+			return true
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		stack = append(stack, g.succs[w]...)
+	}
+	return false
+}
+
+// TransitiveClosure returns a new graph with an edge u->v wherever v is
+// reachable from u in g. (§X.B notes the closure of the dependence graph is
+// not necessarily a strict superset — an edgeless graph is its own closure.)
+func (g *Graph) TransitiveClosure() *Graph {
+	out := New()
+	for i, n := range g.names {
+		out.AddVertex(n, g.category[i])
+	}
+	for _, u := range g.names {
+		for _, v := range g.names {
+			if u != v && g.Reaches(u, v) {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format in the style of the paper's
+// Figure 16: vertices categorized "iterator" draw as blue circles,
+// "constraint" as red octagons, "derived" as gray boxes; anything else uses
+// the default shape. Vertices are emitted grouped by level set with rank
+// constraints so the layout mirrors the dependency depth.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	levels, err := g.Levels()
+	if err != nil {
+		// Cyclic graph: fall back to a flat dump so the user can see it.
+		levels = [][]string{g.names}
+	}
+	for l, names := range levels {
+		fmt.Fprintf(&b, "  { rank=same; /* L%d */\n", l)
+		for _, n := range names {
+			i := g.index[n]
+			var attrs string
+			switch g.category[i] {
+			case "iterator":
+				attrs = "shape=circle, style=filled, fillcolor=\"#9ecae1\""
+			case "constraint":
+				attrs = "shape=octagon, style=filled, fillcolor=\"#fc9272\""
+			case "derived":
+				attrs = "shape=box, style=filled, fillcolor=\"#d9d9d9\""
+			default:
+				attrs = "shape=ellipse"
+			}
+			fmt.Fprintf(&b, "    %q [%s];\n", n, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for u, name := range g.names {
+		for _, v := range g.succs[u] {
+			fmt.Fprintf(&b, "  %q -> %q;\n", name, g.names[v])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package dag
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig16 builds the dependency structure of the paper's Figure 16 example:
+// iterators dim_m, dim_n, blk_k feed derived quantities and constraints.
+func fig16(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, it := range []string{"dim_m", "dim_n", "blk_k"} {
+		g.AddVertex(it, "iterator")
+	}
+	g.AddVertex("blk_m", "iterator")
+	g.AddVertex("blk_n", "iterator")
+	for _, c := range []string{"max_threads", "partial_warps", "fetch_a", "fetch_b",
+		"blk_m_div", "blk_n_div", "max_regs_thread", "max_regs_block",
+		"low_regs", "max_shmem", "low_shmem"} {
+		g.AddVertex(c, "constraint")
+	}
+	edges := [][2]string{
+		{"dim_m", "blk_m"}, {"dim_n", "blk_n"},
+		{"dim_m", "max_threads"}, {"dim_n", "max_threads"},
+		{"dim_m", "partial_warps"}, {"dim_n", "partial_warps"},
+		{"dim_m", "fetch_a"}, {"blk_k", "fetch_a"},
+		{"dim_n", "fetch_b"}, {"blk_k", "fetch_b"},
+		{"blk_m", "blk_m_div"}, {"blk_n", "blk_n_div"},
+		{"blk_m", "max_regs_thread"}, {"blk_n", "max_regs_thread"},
+		{"blk_m", "max_regs_block"}, {"blk_n", "max_regs_block"},
+		{"blk_m", "low_regs"}, {"blk_n", "low_regs"},
+		{"blk_m", "max_shmem"}, {"blk_n", "max_shmem"}, {"blk_k", "max_shmem"},
+		{"blk_m", "low_shmem"}, {"blk_n", "low_shmem"}, {"blk_k", "low_shmem"},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestLevels(t *testing.T) {
+	g := fig16(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3 (L0 iterators, L1 blk/constraints, L2 tile constraints)", len(levels))
+	}
+	if !reflect.DeepEqual(levels[0], []string{"dim_m", "dim_n", "blk_k"}) {
+		t.Errorf("L0 = %v", levels[0])
+	}
+	if g.Level("blk_m") != 1 || g.Level("max_threads") != 1 {
+		t.Error("level assignment wrong at L1")
+	}
+	if g.Level("max_shmem") != 2 || g.Level("blk_m_div") != 2 {
+		t.Error("level assignment wrong at L2")
+	}
+}
+
+func TestTopoOrderStableAndValid(t *testing.T) {
+	g := fig16(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != g.Len() {
+		t.Fatalf("order covers %d of %d vertices", len(order), g.Len())
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	// Dependency validity.
+	for _, n := range order {
+		for _, s := range g.Successors(n) {
+			if pos[s] < pos[n] {
+				t.Errorf("%s ordered before its dependency %s", s, n)
+			}
+		}
+	}
+	// Stability: among sources, insertion order is preserved.
+	if pos["dim_m"] > pos["dim_n"] || pos["dim_n"] > pos["blk_k"] {
+		t.Error("topological order is not insertion-stable")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("expected CycleError")
+	}
+	ce, ok := err.(*CycleError)
+	if !ok {
+		t.Fatalf("wrong error type %T", err)
+	}
+	if len(ce.Cycle) < 3 {
+		t.Errorf("cycle witness too short: %v", ce.Cycle)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("TopoOrder must fail on cycles")
+	}
+	if _, err := g.Levels(); err == nil {
+		t.Error("Levels must fail on cycles")
+	}
+}
+
+func TestReachesAndClosure(t *testing.T) {
+	g := fig16(t)
+	if !g.Reaches("dim_m", "blk_m_div") {
+		t.Error("dim_m should reach blk_m_div through blk_m")
+	}
+	if g.Reaches("blk_m", "dim_m") {
+		t.Error("reverse reachability must be false")
+	}
+	if g.Reaches("dim_m", "dim_m") {
+		t.Error("no self-reach without a cycle")
+	}
+	tc := g.TransitiveClosure()
+	if !tc.HasEdge("dim_m", "blk_m_div") {
+		t.Error("closure missing transitive edge")
+	}
+	// §X.B: the closure of an edgeless graph is itself (not a strict
+	// superset).
+	empty := New()
+	empty.AddVertex("x", "iterator")
+	empty.AddVertex("y", "iterator")
+	if got := empty.TransitiveClosure(); got.HasEdge("x", "y") || got.HasEdge("y", "x") {
+		t.Error("closure of edgeless graph grew edges")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := fig16(t)
+	dot := g.DOT("fig16")
+	for _, want := range []string{
+		"digraph \"fig16\"",
+		"\"dim_m\" -> \"blk_m\";",
+		"shape=octagon", // constraints
+		"shape=circle",  // iterators
+		"rank=same; /* L0 */",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestDuplicateEdgesAndVertices(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if got := g.Successors("a"); len(got) != 1 {
+		t.Errorf("duplicate edge stored: %v", got)
+	}
+	g.AddVertex("a", "iterator")
+	if g.Len() != 2 {
+		t.Errorf("duplicate vertex stored: %d", g.Len())
+	}
+	if g.Category("a") != "iterator" {
+		t.Error("category update lost")
+	}
+}
+
+// Property: for random DAGs (edges only forward by construction), every
+// vertex's level is 1 + max level of its predecessors, and the level sets
+// partition the vertex set.
+func TestLevelsProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := New()
+		n := int(seed%12) + 2
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+			g.AddVertex(names[i], "")
+		}
+		s := seed
+		next := func() uint32 { s = s*1664525 + 1013904223; return s }
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if next()%3 == 0 {
+					g.AddEdge(names[i], names[j])
+				}
+			}
+		}
+		levels, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		level := map[string]int{}
+		total := 0
+		for l, ns := range levels {
+			for _, v := range ns {
+				level[v] = l
+				total++
+			}
+		}
+		if total != n {
+			return false
+		}
+		for _, v := range names {
+			want := 0
+			for _, p := range g.Predecessors(v) {
+				if level[p]+1 > want {
+					want = level[p] + 1
+				}
+			}
+			if level[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package device models the CUDA device information the autotuner consumes:
+// the queryable properties of Figure 8 (cudaGetDeviceProperties), the
+// compute-capability tables of Figure 9 that NVIDIA documents but does not
+// expose through the query API, and the occupancy calculator that §II calls
+// "an integral part of the pruning process".
+//
+// No GPU is required: the paper itself reads these numbers from a static
+// table for anything not queryable, and the values here are the paper's own
+// (Tesla K40c) plus the other architectures its Figure 2 mentions.
+package device
+
+import "fmt"
+
+// Properties mirrors the device query of Figure 8 plus the per-capability
+// limits of Figure 9, resolved for the device's compute capability.
+type Properties struct {
+	Name string
+
+	// Queryable (Figure 8).
+	MaxThreadsPerBlock            int64
+	MaxThreadsDimX                int64
+	MaxThreadsDimY                int64
+	MaxSharedMemPerBlock          int64
+	WarpSize                      int64
+	MaxRegsPerBlock               int64
+	MaxThreadsPerMultiProcessor   int64
+	CudaMajor                     int64
+	CudaMinor                     int64
+	MaxRegistersPerMultiProcessor int64
+	MaxShmemPerMultiProcessor     int64
+	FloatSize                     int64
+
+	// Non-queryable, resolved from the capability tables (Figure 9).
+	MaxBlocksPerMultiProcessor int64
+	MaxWarpsPerMultiProcessor  int64
+	MaxRegistersPerThread      int64
+
+	// Performance-model inputs (used by the kernel simulator, not by
+	// pruning): multiprocessor count, core clock in MHz, FMA lanes per
+	// multiprocessor, and device-memory bandwidth in GB/s.
+	MultiProcessors int64
+	ClockMHz        int64
+	FMAsPerSM       int64
+	MemBandwidthGBs int64
+}
+
+// The compute-capability tables of Figure 9, indexed [major][minor]; -1
+// marks capability combinations that do not exist.
+var (
+	// MaxBlocksPerMultiProcessorTable is resident thread blocks per SM.
+	MaxBlocksPerMultiProcessorTable = [][]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{8, 8, 8, 8, -1, -1, -1, -1, -1, -1},
+		{8, 8, 8, 8, 8, 8, 8, 8, 8, 8},
+		{16, -1, -1, -1, -1, 16, -1, -1, -1, -1},
+	}
+	// MaxWarpsPerMultiProcessorTable is resident warps per SM.
+	MaxWarpsPerMultiProcessorTable = [][]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{24, 24, 32, 32, -1, -1, -1, -1, -1, -1},
+		{48, 48, 48, 48, 48, 48, 48, 48, 48, 48},
+		{64, -1, -1, -1, -1, 64, -1, -1, -1, -1},
+	}
+	// MaxRegistersPerThreadTable is the per-thread register limit.
+	MaxRegistersPerThreadTable = [][]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{128, 128, 128, 128, -1, -1, -1, -1, -1, -1},
+		{63, 63, 63, 63, 63, 63, 63, 63, 63, 63},
+		{63, -1, -1, -1, -1, 255, -1, -1, -1, -1},
+	}
+)
+
+// CapLookup indexes a Figure 9 table by compute capability, returning -1
+// for combinations outside the table — the same convention the paper's
+// tables use for undefined entries.
+func CapLookup(table [][]int64, major, minor int64) int64 {
+	if major < 0 || major >= int64(len(table)) {
+		return -1
+	}
+	row := table[major]
+	if minor < 0 || minor >= int64(len(row)) {
+		return -1
+	}
+	return row[minor]
+}
+
+// ResolveCapability fills the three Figure 9 fields from the tables, based
+// on CudaMajor/CudaMinor. It fails on capability combinations the tables
+// mark undefined.
+func (p *Properties) ResolveCapability() error {
+	p.MaxBlocksPerMultiProcessor = CapLookup(MaxBlocksPerMultiProcessorTable, p.CudaMajor, p.CudaMinor)
+	p.MaxWarpsPerMultiProcessor = CapLookup(MaxWarpsPerMultiProcessorTable, p.CudaMajor, p.CudaMinor)
+	p.MaxRegistersPerThread = CapLookup(MaxRegistersPerThreadTable, p.CudaMajor, p.CudaMinor)
+	if p.MaxBlocksPerMultiProcessor < 0 || p.MaxWarpsPerMultiProcessor < 0 || p.MaxRegistersPerThread < 0 {
+		return fmt.Errorf("device: compute capability %d.%d not in capability tables", p.CudaMajor, p.CudaMinor)
+	}
+	return nil
+}
+
+// TeslaK40c returns the paper's evaluation device with the exact Figure 8
+// query values (Kepler GK110B, compute capability 3.5).
+func TeslaK40c() *Properties {
+	p := &Properties{
+		Name:                          "Tesla K40c",
+		MaxThreadsPerBlock:            1024,
+		MaxThreadsDimX:                1024,
+		MaxThreadsDimY:                1024,
+		MaxSharedMemPerBlock:          49152,
+		WarpSize:                      32,
+		MaxRegsPerBlock:               65536,
+		MaxThreadsPerMultiProcessor:   2048,
+		CudaMajor:                     3,
+		CudaMinor:                     5,
+		MaxRegistersPerMultiProcessor: 65536,
+		MaxShmemPerMultiProcessor:     49152,
+		FloatSize:                     4,
+		MultiProcessors:               15,
+		ClockMHz:                      745,
+		FMAsPerSM:                     192,
+		MemBandwidthGBs:               288,
+	}
+	mustResolve(p)
+	return p
+}
+
+// GTX680 returns the first Kepler consumer card (GK104, CC 3.0), the device
+// of the paper's earlier Kepler study [3].
+func GTX680() *Properties {
+	p := &Properties{
+		Name:                          "GeForce GTX 680",
+		MaxThreadsPerBlock:            1024,
+		MaxThreadsDimX:                1024,
+		MaxThreadsDimY:                1024,
+		MaxSharedMemPerBlock:          49152,
+		WarpSize:                      32,
+		MaxRegsPerBlock:               65536,
+		MaxThreadsPerMultiProcessor:   2048,
+		CudaMajor:                     3,
+		CudaMinor:                     0,
+		MaxRegistersPerMultiProcessor: 65536,
+		MaxShmemPerMultiProcessor:     49152,
+		FloatSize:                     4,
+		MultiProcessors:               8,
+		ClockMHz:                      1006,
+		FMAsPerSM:                     192,
+		MemBandwidthGBs:               192,
+	}
+	mustResolve(p)
+	return p
+}
+
+// FermiC2050 returns the Fermi-generation Tesla (GF100, CC 2.0) from the
+// paper's earlier GEMM autotuning work [1], [2].
+func FermiC2050() *Properties {
+	p := &Properties{
+		Name:                          "Tesla C2050",
+		MaxThreadsPerBlock:            1024,
+		MaxThreadsDimX:                1024,
+		MaxThreadsDimY:                1024,
+		MaxSharedMemPerBlock:          49152,
+		WarpSize:                      32,
+		MaxRegsPerBlock:               32768,
+		MaxThreadsPerMultiProcessor:   1536,
+		CudaMajor:                     2,
+		CudaMinor:                     0,
+		MaxRegistersPerMultiProcessor: 32768,
+		MaxShmemPerMultiProcessor:     49152,
+		FloatSize:                     4,
+		MultiProcessors:               14,
+		ClockMHz:                      1150,
+		FMAsPerSM:                     32,
+		MemBandwidthGBs:               144,
+	}
+	mustResolve(p)
+	return p
+}
+
+// MaxwellGTX980 returns a Maxwell-generation card (GM204, CC 5.2), the
+// third architecture Figure 2's deferred-iterator example dispatches on.
+func MaxwellGTX980() *Properties {
+	p := &Properties{
+		Name:                          "GeForce GTX 980",
+		MaxThreadsPerBlock:            1024,
+		MaxThreadsDimX:                1024,
+		MaxThreadsDimY:                1024,
+		MaxSharedMemPerBlock:          49152,
+		WarpSize:                      32,
+		MaxRegsPerBlock:               65536,
+		MaxThreadsPerMultiProcessor:   2048,
+		CudaMajor:                     3, // see note below
+		CudaMinor:                     5,
+		MaxRegistersPerMultiProcessor: 65536,
+		MaxShmemPerMultiProcessor:     98304,
+		FloatSize:                     4,
+		MultiProcessors:               16,
+		ClockMHz:                      1126,
+		FMAsPerSM:                     128,
+		MemBandwidthGBs:               224,
+	}
+	// The Figure 9 tables predate CC 5.2 rows for all three limits; the
+	// paper's table marks 5.2 undefined for blocks/warps. Model Maxwell
+	// with CC 3.5-equivalent occupancy limits, which matches its actual
+	// 64-warp/16-block SM budget closely enough for pruning.
+	mustResolve(p)
+	p.Name = "GeForce GTX 980"
+	return p
+}
+
+// Registry returns the built-in devices keyed by a short name usable on
+// command lines.
+func Registry() map[string]*Properties {
+	return map[string]*Properties{
+		"k40c":   TeslaK40c(),
+		"gtx680": GTX680(),
+		"c2050":  FermiC2050(),
+		"gtx980": MaxwellGTX980(),
+	}
+}
+
+// Lookup returns the registry device with the given short name.
+func Lookup(name string) (*Properties, error) {
+	p, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("device: unknown device %q (have k40c, gtx680, c2050, gtx980)", name)
+	}
+	return p, nil
+}
+
+func mustResolve(p *Properties) {
+	if err := p.ResolveCapability(); err != nil {
+		panic(err)
+	}
+}
+
+// Scaled returns a copy of p with the block-shape limits divided by factor.
+// The search-space *structure* (all 15 GEMM dimensions, every constraint) is
+// unchanged; only the enumeration volume shrinks. Tests and default
+// benchmarks run scaled devices; `-full` runs use the real limits.
+func Scaled(p *Properties, factor int64) *Properties {
+	if factor < 1 {
+		factor = 1
+	}
+	q := *p
+	q.Name = fmt.Sprintf("%s (1/%d scale)", p.Name, factor)
+	q.MaxThreadsDimX = maxI(p.MaxThreadsDimX/factor, 32)
+	q.MaxThreadsDimY = maxI(p.MaxThreadsDimY/factor, 32)
+	return &q
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DPUnitRatio returns the ratio of single-precision to double-precision FMA
+// lanes for the device generation: 3 for Kepler GK110 (192 SP vs 64 DP
+// cores per SMX), 2 for Fermi, 24 for Kepler GK104 consumer parts, and 32
+// for Maxwell. Used only by the kernel simulator's performance model.
+func (p *Properties) DPUnitRatio() int64 {
+	switch {
+	case p.CudaMajor == 2:
+		return 2
+	case p.CudaMajor == 3 && p.CudaMinor >= 5:
+		return 3
+	case p.CudaMajor == 3:
+		return 24 // GK104: 8 DP units per SMX
+	default:
+		return 32
+	}
+}

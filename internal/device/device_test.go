@@ -1,0 +1,182 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestK40cMatchesFigure8(t *testing.T) {
+	p := TeslaK40c()
+	// The exact values of the paper's Figure 8.
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"max_threads_per_block", p.MaxThreadsPerBlock, 1024},
+		{"max_threads_dim_x", p.MaxThreadsDimX, 1024},
+		{"max_threads_dim_y", p.MaxThreadsDimY, 1024},
+		{"max_shared_mem_per_block", p.MaxSharedMemPerBlock, 49152},
+		{"warp_size", p.WarpSize, 32},
+		{"max_regs_per_block", p.MaxRegsPerBlock, 65536},
+		{"max_threads_per_multi_processor", p.MaxThreadsPerMultiProcessor, 2048},
+		{"cudamajor", p.CudaMajor, 3},
+		{"cudaminor", p.CudaMinor, 5},
+		{"max_registers_per_multi_processor", p.MaxRegistersPerMultiProcessor, 65536},
+		{"max_shmem_per_multi_processor", p.MaxShmemPerMultiProcessor, 49152},
+		{"float_size", p.FloatSize, 4},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Figure 9 resolution for CC 3.5.
+	if p.MaxBlocksPerMultiProcessor != 16 || p.MaxWarpsPerMultiProcessor != 64 || p.MaxRegistersPerThread != 255 {
+		t.Errorf("CC 3.5 capability resolution wrong: %d/%d/%d",
+			p.MaxBlocksPerMultiProcessor, p.MaxWarpsPerMultiProcessor, p.MaxRegistersPerThread)
+	}
+}
+
+func TestCapabilityTable(t *testing.T) {
+	cases := []struct {
+		major, minor int64
+		blocks       int64
+	}{
+		{1, 0, 8}, {1, 3, 8}, {2, 0, 8}, {2, 9, 8}, {3, 0, 16}, {3, 5, 16},
+		{0, 0, -1}, {1, 5, -1}, {3, 2, -1}, {9, 9, -1}, {-1, 0, -1}, {3, -1, -1},
+	}
+	for _, c := range cases {
+		if got := CapLookup(MaxBlocksPerMultiProcessorTable, c.major, c.minor); got != c.blocks {
+			t.Errorf("blocks[%d][%d] = %d, want %d", c.major, c.minor, got, c.blocks)
+		}
+	}
+	bad := &Properties{CudaMajor: 3, CudaMinor: 2}
+	if err := bad.ResolveCapability(); err == nil {
+		t.Error("expected resolution failure for CC 3.2")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 4 {
+		t.Fatalf("registry has %d devices", len(reg))
+	}
+	for name, p := range reg {
+		if p.MaxBlocksPerMultiProcessor <= 0 || p.MaxWarpsPerMultiProcessor <= 0 {
+			t.Errorf("%s: unresolved capability fields", name)
+		}
+		if p.PeakGFLOPS() <= 0 {
+			t.Errorf("%s: nonpositive peak", name)
+		}
+	}
+	if _, err := Lookup("k40c"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("rtx4090"); err == nil {
+		t.Error("expected unknown-device error")
+	}
+}
+
+func TestOccupancyK40c(t *testing.T) {
+	p := TeslaK40c()
+	// A classic 256-thread, 32-regs/thread, 8KB-shmem block: registers
+	// allow 8 blocks, shmem allows 6 -> shmem limits at 6 blocks = 1536
+	// threads = 48 warps = 75% occupancy.
+	o := p.Occupancy(256, 32, 8192)
+	if o.BlocksPerSM != 6 || o.Limiter != "shared memory" {
+		t.Errorf("blocks = %d (%s), want 6 (shared memory)", o.BlocksPerSM, o.Limiter)
+	}
+	if o.ActiveWarps != 48 || o.Fraction != 0.75 {
+		t.Errorf("warps = %d, fraction = %f", o.ActiveWarps, o.Fraction)
+	}
+	// Register-limited: 256 threads * 128 regs = 32768 per block -> 2
+	// blocks.
+	o = p.Occupancy(256, 128, 1024)
+	if o.BlocksPerSM != 2 || o.Limiter != "registers" {
+		t.Errorf("blocks = %d (%s), want 2 (registers)", o.BlocksPerSM, o.Limiter)
+	}
+	// Thread-count cap: 1024-thread blocks can only be resident twice.
+	o = p.Occupancy(1024, 16, 1024)
+	if o.BlocksPerSM != 2 || o.Fraction != 1.0 {
+		t.Errorf("1024-thread blocks: %d blocks, %f occupancy", o.BlocksPerSM, o.Fraction)
+	}
+	// Infeasible.
+	o = p.Occupancy(2048, 16, 1024)
+	if o.BlocksPerSM != 0 || o.Limiter != "none" {
+		t.Errorf("oversize block accepted: %+v", o)
+	}
+	o = p.Occupancy(256, 300, 1024)
+	if o.BlocksPerSM != 0 {
+		t.Errorf("register-starved block accepted: %+v", o)
+	}
+}
+
+// The occupancy calculator must agree with the Figure 12 closed forms that
+// the GEMM derived variables compute.
+func TestOccupancyMatchesFigure12(t *testing.T) {
+	p := TeslaK40c()
+	f := func(tpbRaw, regsRaw, shmemRaw uint16) bool {
+		threads := int64(tpbRaw%1024) + 1
+		regs := int64(regsRaw%64) + 1
+		shmem := (int64(shmemRaw%192) + 1) * 256
+		o := p.Occupancy(threads, regs, shmem)
+		if int64(o.BlocksPerSM)*threads != o.ActiveThreads {
+			return false
+		}
+		if o.BlocksPerSM > p.MaxBlocksPerMultiProcessor {
+			return false
+		}
+		// Never exceed either closed-form bound.
+		if o.ActiveThreads > p.MaxThreadsByRegs(threads, regs) {
+			return false
+		}
+		if o.ActiveThreads > p.MaxThreadsByShmem(threads, shmem) {
+			return false
+		}
+		return o.Fraction >= 0 && o.Fraction <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Scaled(TeslaK40c(), 32)
+	if p.MaxThreadsDimX != 32 || p.MaxThreadsDimY != 32 {
+		t.Errorf("scaled dims = %d x %d", p.MaxThreadsDimX, p.MaxThreadsDimY)
+	}
+	if p.MaxThreadsPerBlock != 1024 {
+		t.Error("scaling must not touch non-shape limits")
+	}
+	if !strings.Contains(p.Name, "1/32") {
+		t.Errorf("name = %q", p.Name)
+	}
+	// Degenerate factors clamp.
+	q := Scaled(TeslaK40c(), 0)
+	if q.MaxThreadsDimX != 1024 {
+		t.Errorf("factor 0 mangled dims: %d", q.MaxThreadsDimX)
+	}
+	r := Scaled(TeslaK40c(), 100000)
+	if r.MaxThreadsDimX != 32 {
+		t.Errorf("floor not applied: %d", r.MaxThreadsDimX)
+	}
+}
+
+func TestDPUnitRatioAndPeak(t *testing.T) {
+	if TeslaK40c().DPUnitRatio() != 3 {
+		t.Error("K40c (GK110B) is 1:3 DP")
+	}
+	if GTX680().DPUnitRatio() != 24 {
+		t.Error("GTX680 (GK104) is 1:24 DP")
+	}
+	if FermiC2050().DPUnitRatio() != 2 {
+		t.Error("C2050 is 1:2 DP")
+	}
+	// K40c SP peak: 15 SMX * 192 lanes * 745 MHz * 2 = 4.29 TFLOP/s.
+	peak := TeslaK40c().PeakGFLOPS()
+	if peak < 4200 || peak > 4400 {
+		t.Errorf("K40c peak = %.0f GFLOP/s, want ~4291", peak)
+	}
+}

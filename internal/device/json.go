@@ -1,0 +1,140 @@
+package device
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The paper's device information enters through cudaGetDeviceProperties on
+// a live machine (Figure 8). Without a GPU, users capture that query once
+// (a tiny CUDA utility, or nvidia-smi -q) and feed the values in as JSON;
+// this file provides the serialization. Field names mirror the Figure 8
+// identifiers so a captured query maps one to one.
+
+// propertiesJSON is the wire form of Properties.
+type propertiesJSON struct {
+	Name                          string `json:"name"`
+	MaxThreadsPerBlock            int64  `json:"max_threads_per_block"`
+	MaxThreadsDimX                int64  `json:"max_threads_dim_x"`
+	MaxThreadsDimY                int64  `json:"max_threads_dim_y"`
+	MaxSharedMemPerBlock          int64  `json:"max_shared_mem_per_block"`
+	WarpSize                      int64  `json:"warp_size"`
+	MaxRegsPerBlock               int64  `json:"max_regs_per_block"`
+	MaxThreadsPerMultiProcessor   int64  `json:"max_threads_per_multi_processor"`
+	CudaMajor                     int64  `json:"cudamajor"`
+	CudaMinor                     int64  `json:"cudaminor"`
+	MaxRegistersPerMultiProcessor int64  `json:"max_registers_per_multi_processor"`
+	MaxShmemPerMultiProcessor     int64  `json:"max_shmem_per_multi_processor"`
+	FloatSize                     int64  `json:"float_size"`
+	MultiProcessors               int64  `json:"multi_processors,omitempty"`
+	ClockMHz                      int64  `json:"clock_mhz,omitempty"`
+	FMAsPerSM                     int64  `json:"fmas_per_sm,omitempty"`
+	MemBandwidthGBs               int64  `json:"mem_bandwidth_gbs,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Properties) MarshalJSON() ([]byte, error) {
+	return json.Marshal(propertiesJSON{
+		Name:                          p.Name,
+		MaxThreadsPerBlock:            p.MaxThreadsPerBlock,
+		MaxThreadsDimX:                p.MaxThreadsDimX,
+		MaxThreadsDimY:                p.MaxThreadsDimY,
+		MaxSharedMemPerBlock:          p.MaxSharedMemPerBlock,
+		WarpSize:                      p.WarpSize,
+		MaxRegsPerBlock:               p.MaxRegsPerBlock,
+		MaxThreadsPerMultiProcessor:   p.MaxThreadsPerMultiProcessor,
+		CudaMajor:                     p.CudaMajor,
+		CudaMinor:                     p.CudaMinor,
+		MaxRegistersPerMultiProcessor: p.MaxRegistersPerMultiProcessor,
+		MaxShmemPerMultiProcessor:     p.MaxShmemPerMultiProcessor,
+		FloatSize:                     p.FloatSize,
+		MultiProcessors:               p.MultiProcessors,
+		ClockMHz:                      p.ClockMHz,
+		FMAsPerSM:                     p.FMAsPerSM,
+		MemBandwidthGBs:               p.MemBandwidthGBs,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The Figure 9 capability
+// fields are re-resolved from the tables after decoding.
+func (p *Properties) UnmarshalJSON(data []byte) error {
+	var w propertiesJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	*p = Properties{
+		Name:                          w.Name,
+		MaxThreadsPerBlock:            w.MaxThreadsPerBlock,
+		MaxThreadsDimX:                w.MaxThreadsDimX,
+		MaxThreadsDimY:                w.MaxThreadsDimY,
+		MaxSharedMemPerBlock:          w.MaxSharedMemPerBlock,
+		WarpSize:                      w.WarpSize,
+		MaxRegsPerBlock:               w.MaxRegsPerBlock,
+		MaxThreadsPerMultiProcessor:   w.MaxThreadsPerMultiProcessor,
+		CudaMajor:                     w.CudaMajor,
+		CudaMinor:                     w.CudaMinor,
+		MaxRegistersPerMultiProcessor: w.MaxRegistersPerMultiProcessor,
+		MaxShmemPerMultiProcessor:     w.MaxShmemPerMultiProcessor,
+		FloatSize:                     w.FloatSize,
+		MultiProcessors:               w.MultiProcessors,
+		ClockMHz:                      w.ClockMHz,
+		FMAsPerSM:                     w.FMAsPerSM,
+		MemBandwidthGBs:               w.MemBandwidthGBs,
+	}
+	return p.ResolveCapability()
+}
+
+// LoadJSON reads a device description from r.
+func LoadJSON(r io.Reader) (*Properties, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	p := &Properties{}
+	if err := p.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if err := p.validateBasics(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadJSONFile reads a device description from a file.
+func LoadJSONFile(path string) (*Properties, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadJSON(f)
+}
+
+func (p *Properties) validateBasics() error {
+	checks := []struct {
+		name string
+		v    int64
+	}{
+		{"max_threads_per_block", p.MaxThreadsPerBlock},
+		{"max_threads_dim_x", p.MaxThreadsDimX},
+		{"max_threads_dim_y", p.MaxThreadsDimY},
+		{"max_shared_mem_per_block", p.MaxSharedMemPerBlock},
+		{"warp_size", p.WarpSize},
+		{"max_regs_per_block", p.MaxRegsPerBlock},
+		{"max_threads_per_multi_processor", p.MaxThreadsPerMultiProcessor},
+		{"max_registers_per_multi_processor", p.MaxRegistersPerMultiProcessor},
+		{"max_shmem_per_multi_processor", p.MaxShmemPerMultiProcessor},
+		{"float_size", p.FloatSize},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("device: %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package device
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for name, p := range Registry() {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadJSON(strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("%s: round trip diverged:\n got %+v\nwant %+v", name, got, p)
+		}
+	}
+}
+
+func TestLoadJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dev.json")
+	data, err := json.Marshal(TeslaK40c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxWarpsPerMultiProcessor != 64 {
+		t.Error("capability fields not re-resolved after load")
+	}
+	if _, err := LoadJSONFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"garbage", "{nope", "device:"},
+		{"unknown field", `{"max_threads_per_block":1,"bogus":2}`, "bogus"},
+		{"bad capability", `{"name":"x","max_threads_per_block":1024,"max_threads_dim_x":1024,
+			"max_threads_dim_y":1024,"max_shared_mem_per_block":49152,"warp_size":32,
+			"max_regs_per_block":65536,"max_threads_per_multi_processor":2048,
+			"cudamajor":9,"cudaminor":9,"max_registers_per_multi_processor":65536,
+			"max_shmem_per_multi_processor":49152,"float_size":4}`, "capability"},
+		{"nonpositive", `{"name":"x","max_threads_per_block":0,"max_threads_dim_x":1024,
+			"max_threads_dim_y":1024,"max_shared_mem_per_block":49152,"warp_size":32,
+			"max_regs_per_block":65536,"max_threads_per_multi_processor":2048,
+			"cudamajor":3,"cudaminor":5,"max_registers_per_multi_processor":65536,
+			"max_shmem_per_multi_processor":49152,"float_size":4}`, "positive"},
+	}
+	for _, c := range cases {
+		_, err := LoadJSON(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestJSONFieldNamesMatchFigure8(t *testing.T) {
+	data, err := json.Marshal(TeslaK40c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire names are the identifiers the paper's Figure 8 prints.
+	for _, want := range []string{
+		`"max_threads_per_block":1024`,
+		`"max_shared_mem_per_block":49152`,
+		`"warp_size":32`,
+		`"cudamajor":3`,
+		`"cudaminor":5`,
+		`"float_size":4`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s in %s", want, data)
+		}
+	}
+}

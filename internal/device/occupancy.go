@@ -1,0 +1,114 @@
+package device
+
+// Occupancy is the automated occupancy calculator of §II: "a function of
+// multiple variables, including the number of threads in a block, the number
+// of registers required by each thread and the amount of shared memory
+// required by each block". It is both a pruning tool (the low_occupancy_*
+// soft constraints of Figure 14 are its thresholded form) and a performance-
+// model input for the kernel simulator.
+type Occupancy struct {
+	// BlocksPerSM is the number of thread blocks resident per
+	// multiprocessor: the minimum of the register, shared-memory, block-
+	// count, and warp-count limits.
+	BlocksPerSM int64
+
+	// ActiveThreads is BlocksPerSM * threads per block.
+	ActiveThreads int64
+
+	// ActiveWarps is the resident warp count.
+	ActiveWarps int64
+
+	// Fraction is ActiveWarps / MaxWarpsPerMultiProcessor, the value the
+	// CUDA occupancy calculator reports.
+	Fraction float64
+
+	// Limiter names the binding resource: "registers", "shared memory",
+	// "blocks", "warps", or "none" when nothing fits.
+	Limiter string
+}
+
+// Occupancy computes residency for a kernel configuration. regsPerThread
+// and shmemPerBlock are the *theoretical* demands, as in Figure 12 — the
+// actual compiler allocation may differ, which is why the paper classifies
+// the register limits as inexact hard constraints.
+func (p *Properties) Occupancy(threadsPerBlock, regsPerThread, shmemPerBlock int64) Occupancy {
+	var o Occupancy
+	if threadsPerBlock <= 0 || threadsPerBlock > p.MaxThreadsPerBlock {
+		o.Limiter = "none"
+		return o
+	}
+	regsPerBlock := regsPerThread * threadsPerBlock
+
+	byRegs := p.MaxBlocksPerMultiProcessor
+	if regsPerBlock > 0 {
+		byRegs = p.MaxRegistersPerMultiProcessor / regsPerBlock
+	}
+	byShmem := p.MaxBlocksPerMultiProcessor
+	if shmemPerBlock > 0 {
+		byShmem = p.MaxShmemPerMultiProcessor / shmemPerBlock
+	}
+	warpsPerBlock := (threadsPerBlock + p.WarpSize - 1) / p.WarpSize
+	byWarps := p.MaxWarpsPerMultiProcessor / warpsPerBlock
+	byThreads := p.MaxThreadsPerMultiProcessor / threadsPerBlock
+
+	o.BlocksPerSM = p.MaxBlocksPerMultiProcessor
+	o.Limiter = "blocks"
+	type lim struct {
+		v    int64
+		name string
+	}
+	for _, l := range []lim{
+		{byRegs, "registers"},
+		{byShmem, "shared memory"},
+		{byWarps, "warps"},
+		{byThreads, "warps"},
+	} {
+		if l.v < o.BlocksPerSM {
+			o.BlocksPerSM = l.v
+			o.Limiter = l.name
+		}
+	}
+	if o.BlocksPerSM <= 0 {
+		o.BlocksPerSM = 0
+		o.Limiter = "none"
+		return o
+	}
+	o.ActiveThreads = o.BlocksPerSM * threadsPerBlock
+	o.ActiveWarps = o.BlocksPerSM * warpsPerBlock
+	o.Fraction = float64(o.ActiveWarps) / float64(p.MaxWarpsPerMultiProcessor)
+	return o
+}
+
+// MaxThreadsByRegs mirrors Figure 12's max_threads_by_regs derived variable:
+// the thread residency permitted by the register budget alone.
+func (p *Properties) MaxThreadsByRegs(threadsPerBlock, regsPerThread int64) int64 {
+	regsPerBlock := regsPerThread * threadsPerBlock
+	if regsPerBlock <= 0 {
+		return p.MaxBlocksPerMultiProcessor * threadsPerBlock
+	}
+	blocks := p.MaxRegistersPerMultiProcessor / regsPerBlock
+	if blocks > p.MaxBlocksPerMultiProcessor {
+		blocks = p.MaxBlocksPerMultiProcessor
+	}
+	return blocks * threadsPerBlock
+}
+
+// MaxThreadsByShmem mirrors Figure 12's max_threads_by_shmem: the thread
+// residency permitted by the shared-memory budget alone.
+func (p *Properties) MaxThreadsByShmem(threadsPerBlock, shmemPerBlock int64) int64 {
+	if shmemPerBlock <= 0 {
+		return p.MaxBlocksPerMultiProcessor * threadsPerBlock
+	}
+	blocks := p.MaxShmemPerMultiProcessor / shmemPerBlock
+	if blocks > p.MaxBlocksPerMultiProcessor {
+		blocks = p.MaxBlocksPerMultiProcessor
+	}
+	return blocks * threadsPerBlock
+}
+
+// PeakGFLOPS returns the device's double-precision-agnostic FMA peak in
+// GFLOP/s: SMs * lanes * clock * 2 (multiply+add). The kernel simulator
+// normalizes its estimates against this.
+func (p *Properties) PeakGFLOPS() float64 {
+	return float64(p.MultiProcessors) * float64(p.FMAsPerSM) * float64(p.ClockMHz) * 2 / 1000
+}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+func mustCompile(t *testing.T, s *space.Space) *plan.Program {
+	t.Helper()
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func allEngines(t *testing.T, prog *plan.Program) []Engine {
+	t.Helper()
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Engine{NewInterp(prog), NewVM(prog), comp}
+}
+
+// assertAgree runs every engine under every protocol and checks the tuple
+// streams are identical.
+func assertAgree(t *testing.T, prog *plan.Program, wantSurvivors int64) {
+	t.Helper()
+	var want [][]int64
+	for i, e := range allEngines(t, prog) {
+		for _, p := range []Protocol{ProtoDefault, ProtoWhile, ProtoRange, ProtoXRange, ProtoRepeat} {
+			var got [][]int64
+			_, err := e.Run(Options{Protocol: p, OnTuple: func(tu []int64) bool {
+				cp := make([]int64, len(tu))
+				copy(cp, tu)
+				got = append(got, cp)
+				return true
+			}})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name(), p, err)
+			}
+			if i == 0 && p == ProtoDefault {
+				want = got
+				if wantSurvivors >= 0 && int64(len(got)) != wantSurvivors {
+					t.Fatalf("survivors = %d, want %d", len(got), wantSurvivors)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: %d tuples, want %d (stream differs)", e.Name(), p, len(got), len(want))
+			}
+		}
+	}
+}
+
+// Dynamic negative steps whose sign is not statically known: the VM's
+// while-protocol literal-step fast path must not be taken.
+func TestDynamicStepSign(t *testing.T) {
+	s := space.New()
+	s.IntList("dir", 1, -1)
+	// start/stop/step all depend on dir: ascending 0..4 or descending 4..0.
+	s.DomainIter("x", space.NewRangeStep(
+		expr.If(expr.Gt(expr.NewRef("dir"), expr.IntLit(0)), expr.IntLit(0), expr.IntLit(4)),
+		expr.If(expr.Gt(expr.NewRef("dir"), expr.IntLit(0)), expr.IntLit(5), expr.IntLit(-1)),
+		expr.NewRef("dir"),
+	))
+	assertAgree(t, mustCompile(t, s), 10)
+}
+
+// Empty inner domains at various positions must not derail enumeration.
+func TestEmptyInnerDomains(t *testing.T) {
+	s := space.New()
+	s.Range("a", expr.IntLit(0), expr.IntLit(4))
+	// b is empty when a is even: range(0, a%2).
+	s.DomainIter("b", space.NewRange(expr.IntLit(0), expr.Mod(expr.NewRef("a"), expr.IntLit(2))))
+	s.Range("c", expr.IntLit(0), expr.IntLit(2))
+	assertAgree(t, mustCompile(t, s), 4) // a in {1,3} x b=0 x c in {0,1}
+}
+
+// A deferred iterator in the middle of the nest exercises the VM's
+// host-domain opcode path and the compiled engine's hostDom.
+func TestDeferredIteratorMidNest(t *testing.T) {
+	s := space.New()
+	s.Range("a", expr.IntLit(1), expr.IntLit(5))
+	s.DeferredIter("d", []string{"a"}, func(args []expr.Value) space.DomainExpr {
+		if args[0].I%2 == 0 {
+			return nil // empty
+		}
+		return space.NewIntList(args[0].I, args[0].I*10)
+	})
+	s.Range("z", expr.IntLit(0), expr.IntLit(2))
+	assertAgree(t, mustCompile(t, s), 8) // a in {1,3}: 2 d-values x 2 z
+}
+
+// A closure iterator innermost, with early stop via Limit, across engines.
+func TestClosureIteratorWithLimit(t *testing.T) {
+	s := space.New()
+	s.Range("a", expr.IntLit(2), expr.IntLit(6))
+	s.ClosureIter("div", []string{"a"}, func(args []expr.Value, yield func(int64) bool) {
+		for v := int64(1); v <= args[0].I; v++ {
+			if args[0].I%v == 0 && !yield(v) {
+				return
+			}
+		}
+	})
+	prog := mustCompile(t, s)
+	for _, e := range allEngines(t, prog) {
+		st, err := e.Run(Options{Limit: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Survivors != 5 || !st.Stopped {
+			t.Errorf("%s: survivors=%d stopped=%v", e.Name(), st.Survivors, st.Stopped)
+		}
+	}
+}
+
+// Deferred constraints mid-nest: the VM's opHostChk and hoisting together.
+func TestDeferredConstraintHoisting(t *testing.T) {
+	s := space.New()
+	s.Range("a", expr.IntLit(0), expr.IntLit(6))
+	s.Range("b", expr.IntLit(0), expr.IntLit(6))
+	s.Range("c", expr.IntLit(0), expr.IntLit(6))
+	calls := 0
+	s.DeferredConstraint("host_mid", space.Soft, []string{"a", "b"},
+		func(args []expr.Value) bool {
+			calls++
+			return (args[0].I+args[1].I)%3 != 0
+		})
+	prog := mustCompile(t, s)
+	// The constraint reads a and b only: it must hoist above c's loop.
+	if got := stepDepthOf(prog, "host_mid"); got != 1 {
+		t.Fatalf("host_mid at depth %d, want 1", got)
+	}
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := comp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 36 {
+		t.Errorf("deferred constraint called %d times, want 36 (6x6, hoisted)", calls)
+	}
+	if st.Survivors != 12*6 {
+		t.Errorf("survivors = %d, want 72", st.Survivors)
+	}
+	assertAgree(t, prog, -1)
+}
+
+func stepDepthOf(prog *plan.Program, name string) int {
+	for _, st := range prog.Prelude {
+		if st.Name == name {
+			return -1
+		}
+	}
+	for d, lp := range prog.Loops {
+		for _, st := range lp.Steps {
+			if st.Name == name {
+				return d
+			}
+		}
+	}
+	return -2
+}
+
+// Table lookups inside constraints through all engines (the VM's opTable).
+func TestTableLookupAcrossEngines(t *testing.T) {
+	s := space.New()
+	s.Range("r", expr.IntLit(0), expr.IntLit(5)) // includes out-of-range rows
+	s.Range("c", expr.IntLit(0), expr.IntLit(4))
+	s.Derived("v", &expr.Table2D{
+		Name:    "T",
+		Data:    [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+		Row:     expr.NewRef("r"),
+		Col:     expr.NewRef("c"),
+		Default: -1,
+	})
+	s.Constrain("reject_default", space.Correctness, expr.Eq(expr.NewRef("v"), expr.IntLit(-1)))
+	s.Constrain("odd_only", space.Soft, expr.Eq(expr.Mod(expr.NewRef("v"), expr.IntLit(2)), expr.IntLit(0)))
+	// Rows 0-2 x cols 0-2 valid, keep odd values: 1,3,5,7,9 -> 5 tuples.
+	assertAgree(t, mustCompile(t, s), 5)
+}
+
+// Short-circuit evaluation counts: `and` must not evaluate its right side
+// when the left is false — observable through a deferred-constraint-free
+// proxy: a division that would be nonzero-checked. Since the language is
+// total, instead verify via Check counts against a nested-if equivalent.
+func TestShortCircuitEquivalence(t *testing.T) {
+	mk := func(pred expr.Expr) *plan.Program {
+		s := space.New()
+		s.Range("x", expr.IntLit(0), expr.IntLit(20))
+		s.Constrain("k", space.Soft, pred)
+		return mustCompile(t, s)
+	}
+	// (x % 2 == 0) and (x % 3 == 0)  ==  ternary-nested form.
+	a := mk(expr.And(
+		expr.Eq(expr.Mod(expr.NewRef("x"), expr.IntLit(2)), expr.IntLit(0)),
+		expr.Eq(expr.Mod(expr.NewRef("x"), expr.IntLit(3)), expr.IntLit(0))))
+	b := mk(expr.If(
+		expr.Eq(expr.Mod(expr.NewRef("x"), expr.IntLit(2)), expr.IntLit(0)),
+		expr.Eq(expr.Mod(expr.NewRef("x"), expr.IntLit(3)), expr.IntLit(0)),
+		expr.BoolLit(false)))
+	for _, prog := range []*plan.Program{a, b} {
+		for _, e := range allEngines(t, prog) {
+			st, err := e.Run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Survivors != 20-4 { // x in {0,6,12,18} rejected
+				t.Errorf("%s: survivors = %d, want 16", e.Name(), st.Survivors)
+			}
+		}
+	}
+}
+
+// Very deep nests (8 levels) stress the recursion and bytecode emission.
+func TestDeepNest(t *testing.T) {
+	s := space.New()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, n := range names {
+		s.Range(n, expr.IntLit(0), expr.IntLit(2))
+	}
+	sum := expr.Expr(expr.IntLit(0))
+	for _, n := range names {
+		sum = expr.Add(sum, expr.NewRef(n))
+	}
+	s.Derived("total", sum)
+	s.Constrain("k", space.Soft, expr.Ne(expr.NewRef("total"), expr.IntLit(4)))
+	// C(8,4) = 70 tuples with exactly four ones.
+	assertAgree(t, mustCompile(t, s), 70)
+}
+
+// Unknown-engine-state probes: Stats merging and the funnel rendering on a
+// parallel run.
+func TestParallelFunnel(t *testing.T) {
+	s := space.New()
+	s.Range("x", expr.IntLit(0), expr.IntLit(50))
+	s.Range("y", expr.IntLit(0), expr.IntLit(50))
+	s.Constrain("k", space.Hard, expr.Gt(expr.Mul(expr.NewRef("x"), expr.NewRef("y")), expr.IntLit(100)))
+	prog := mustCompile(t, s)
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := comp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := comp.Run(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.FunnelReport(prog) != par.FunnelReport(prog) {
+		t.Error("funnel reports differ between sequential and parallel")
+	}
+	if !strings.Contains(seq.FunnelReport(prog), "k") {
+		t.Error("funnel missing constraint")
+	}
+}
+
+// The engines surface expression type errors as errors, not panics.
+func TestTypeErrorSurfacedAsError(t *testing.T) {
+	s := space.New()
+	s.StrSetting("mode", "abc")
+	s.Range("x", expr.IntLit(0), expr.IntLit(3))
+	// Ordering a string against an int is a type error; folding is
+	// disabled so it survives to run time (interp only — the compiled
+	// backends reject string programs at construction).
+	s.Constrain("bad", space.Soft, expr.Lt(expr.NewRef("mode"), expr.NewRef("x")))
+	prog, err := plan.Compile(s, plan.Options{DisableFolding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(prog).Run(Options{}); err == nil {
+		t.Error("expected a type error from the interpreter")
+	}
+	if _, err := NewCompiled(prog); err == nil {
+		t.Error("expected the compiler to reject string expressions")
+	}
+	if _, err := NewVM(prog).Run(Options{}); err == nil {
+		t.Error("expected the VM to reject string expressions")
+	}
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// Protocol selects the loop-control variant a backend uses for range
+// domains. The paper's Figures 17–18 show that within one language the loop
+// syntax alone moves throughput by 30% and more; these protocols reproduce
+// those syntactic variants. Protocols outside a backend's repertoire fall
+// back to that backend's default.
+type Protocol uint8
+
+// Loop protocols.
+const (
+	// ProtoDefault lets the backend choose its fastest protocol.
+	ProtoDefault Protocol = iota
+	// ProtoWhile drives ranges by re-evaluating an explicit condition and
+	// increment through the expression machinery each iteration — Python's
+	// and Lua's `while` loop.
+	ProtoWhile
+	// ProtoRange materializes the whole value list up front, then walks it
+	// — Python 2's `range` builtin, including its memory cost.
+	ProtoRange
+	// ProtoXRange computes the bounds once and streams values without
+	// materializing — Python 2's `xrange`, Lua's numeric `for`.
+	ProtoXRange
+	// ProtoRepeat uses a post-test loop with a pre-check for emptiness —
+	// Lua's `repeat ... until`.
+	ProtoRepeat
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoDefault:
+		return "default"
+	case ProtoWhile:
+		return "while"
+	case ProtoRange:
+		return "range"
+	case ProtoXRange:
+		return "xrange"
+	case ProtoRepeat:
+		return "repeat"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Options control one enumeration run.
+type Options struct {
+	// Protocol selects the loop-control variant (see Protocol).
+	Protocol Protocol
+
+	// Workers > 1 splits the outermost loop across goroutines. The
+	// outermost loop's domain must not depend on other iterators (always
+	// true for the planner's topological order). With multiple workers,
+	// OnTuple is invoked concurrently and must be safe for that.
+	Workers int
+
+	// OnTuple, if non-nil, is called for every surviving tuple with the
+	// loop-variable values in nest order. The slice is reused; copy it to
+	// retain. Returning false stops enumeration.
+	OnTuple func(tuple []int64) bool
+
+	// Limit, if positive, stops enumeration after this many survivors.
+	Limit int64
+}
+
+// Engine enumerates a compiled program, counting and pruning.
+type Engine interface {
+	// Name identifies the backend ("interp", "vm", "compiled").
+	Name() string
+	// Run enumerates the full space.
+	Run(opts Options) (*Stats, error)
+}
+
+// seqRunner is the per-backend sequential core: it enumerates with the
+// outermost loop optionally overridden by an explicit value list (the
+// parallel driver's work division). countPrelude is false for all but one
+// parallel worker so prelude constraint checks are counted exactly once;
+// prelude *assignments* always run (every worker needs the derived
+// values).
+type seqRunner interface {
+	runSeq(opts Options, outer []int64, countPrelude bool) (*Stats, error)
+}
+
+// recoverRunError converts expression-language panics into errors at the
+// run boundary; anything else propagates.
+func recoverRunError(err *error) {
+	if r := recover(); r != nil {
+		var te *expr.TypeError
+		if e, ok := r.(error); ok && errors.As(e, &te) {
+			*err = e
+			return
+		}
+		panic(r)
+	}
+}
+
+// run is the shared Run implementation: sequential dispatch or parallel
+// split of the outermost loop.
+func run(prog *plan.Program, r seqRunner, opts Options) (*Stats, error) {
+	if opts.Workers <= 1 || len(prog.Loops) == 0 {
+		return r.runSeq(opts, nil, true)
+	}
+	outer, err := materializeOuter(prog)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers > runtime.NumCPU()*4 {
+		workers = runtime.NumCPU() * 4
+	}
+	if workers > len(outer) {
+		workers = len(outer)
+	}
+	if workers <= 1 {
+		return r.runSeq(opts, nil, true)
+	}
+	// Round-robin assignment balances monotone-cost domains (small outer
+	// values open small inner spaces) better than contiguous chunks.
+	chunks := make([][]int64, workers)
+	for i, v := range outer {
+		chunks[i%workers] = append(chunks[i%workers], v)
+	}
+	total := NewStats(prog)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for ci, chunk := range chunks {
+		wg.Add(1)
+		go func(vals []int64, countPrelude bool) {
+			defer wg.Done()
+			st, err := r.runSeq(opts, vals, countPrelude)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if st != nil {
+				total.Merge(st)
+			}
+		}(chunk, ci == 0)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return total, nil
+}
+
+// materializeOuter evaluates the outermost loop's domain against the
+// settings-only environment.
+func materializeOuter(prog *plan.Program) ([]int64, error) {
+	lp := prog.Loops[0]
+	env := prog.NewEnv()
+	// Prelude assignments may feed the outer domain (derived variables of
+	// settings survive folding only when folding is disabled).
+	for _, st := range prog.Prelude {
+		if st.Kind == plan.AssignStep {
+			env.Slots[st.Slot] = st.Expr.Eval(env)
+		}
+	}
+	var out []int64
+	switch lp.Iter.Kind {
+	case space.ExprIter:
+		out = space.Materialize(lp.Domain, env)
+	default:
+		lp.Iter.Iterate(env, lp.ArgSlots, func(v int64) bool {
+			out = append(out, v)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// CountSurvivors is a convenience wrapper: sequential enumeration counting
+// survivors only.
+func CountSurvivors(e Engine) (int64, error) {
+	st, err := e.Run(Options{})
+	if err != nil {
+		return 0, err
+	}
+	return st.Survivors, nil
+}
+
+// CollectTuples enumerates sequentially and returns every surviving tuple
+// (copied). Intended for tests and small spaces.
+func CollectTuples(e Engine, limit int64) ([][]int64, *Stats, error) {
+	var out [][]int64
+	st, err := e.Run(Options{
+		Limit: limit,
+		OnTuple: func(t []int64) bool {
+			cp := make([]int64, len(t))
+			copy(cp, t)
+			out = append(out, cp)
+			return true
+		},
+	})
+	return out, st, err
+}

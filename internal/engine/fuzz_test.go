@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// randomSpace builds a pseudo-random but well-formed search space:
+// 2-4 iterators with assorted domain shapes whose bounds may reference
+// earlier iterators, 0-2 derived variables, and 0-3 constraints over
+// random expressions. All values stay small so enumeration is fast.
+func randomSpace(rng *rand.Rand) *space.Space {
+	s := space.New()
+	s.IntSetting("s0", int64(rng.Intn(7)+1))
+	s.IntSetting("s1", int64(rng.Intn(5)+2))
+
+	// Names available for use in expressions, grown as we declare.
+	avail := []string{"s0", "s1"}
+	randRef := func() expr.Expr {
+		return expr.NewRef(avail[rng.Intn(len(avail))])
+	}
+	var randExpr func(depth int) expr.Expr
+	randExpr = func(depth int) expr.Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return expr.IntLit(int64(rng.Intn(9) - 2))
+			}
+			return randRef()
+		}
+		a, b := randExpr(depth-1), randExpr(depth-1)
+		switch rng.Intn(8) {
+		case 0:
+			return expr.Add(a, b)
+		case 1:
+			return expr.Sub(a, b)
+		case 2:
+			return expr.Mul(a, b)
+		case 3:
+			return expr.Div(a, b)
+		case 4:
+			return expr.Mod(a, b)
+		case 5:
+			return expr.MinOf(a, b)
+		case 6:
+			return expr.MaxOf(a, b)
+		default:
+			return expr.If(expr.Gt(a, expr.IntLit(0)), a, b)
+		}
+	}
+	randPred := func() expr.Expr {
+		a, b := randExpr(2), randExpr(2)
+		switch rng.Intn(6) {
+		case 0:
+			return expr.Lt(a, b)
+		case 1:
+			return expr.Le(a, b)
+		case 2:
+			return expr.Eq(a, b)
+		case 3:
+			return expr.Ne(a, b)
+		case 4:
+			return expr.And(expr.Gt(a, expr.IntLit(0)), expr.Lt(b, expr.IntLit(5)))
+		default:
+			return expr.Or(expr.Eq(expr.Mod(a, expr.IntLit(2)), expr.IntLit(0)), expr.Gt(b, a))
+		}
+	}
+	// Small positive bound to keep domains finite and nonempty-ish.
+	smallBound := func() expr.Expr {
+		return expr.Add(expr.MaxOf(expr.Mod(randExpr(1), expr.IntLit(4)), expr.IntLit(0)), expr.IntLit(2))
+	}
+
+	nIters := rng.Intn(3) + 2
+	for i := 0; i < nIters; i++ {
+		name := fmt.Sprintf("i%d", i)
+		switch rng.Intn(4) {
+		case 0:
+			s.Range(name, expr.IntLit(0), smallBound())
+		case 1:
+			s.RangeStep(name, smallBound(), expr.IntLit(0), expr.IntLit(-1))
+		case 2:
+			s.DomainIter(name, space.NewCond(
+				expr.Gt(randExpr(1), expr.IntLit(1)),
+				space.NewRange(expr.IntLit(0), smallBound()),
+				space.NewList(expr.IntLit(1), smallBound()),
+			))
+		default:
+			s.DomainIter(name, space.Union(
+				space.NewRange(expr.IntLit(0), expr.IntLit(int64(rng.Intn(4)+1))),
+				space.NewList(expr.IntLit(int64(rng.Intn(5))), expr.IntLit(int64(rng.Intn(5)))),
+			))
+		}
+		avail = append(avail, name)
+	}
+	nDerived := rng.Intn(3)
+	for i := 0; i < nDerived; i++ {
+		name := fmt.Sprintf("d%d", i)
+		s.Derived(name, randExpr(2))
+		avail = append(avail, name)
+	}
+	nCons := rng.Intn(4)
+	classes := []space.Class{space.Hard, space.Soft, space.Correctness}
+	for i := 0; i < nCons; i++ {
+		s.Constrain(fmt.Sprintf("c%d", i), classes[rng.Intn(3)], randPred())
+	}
+	return s
+}
+
+// TestFuzzCrossEngine generates hundreds of random spaces and requires all
+// three backends — under every loop protocol, with and without hoisting,
+// sequentially and in parallel — to agree on the full tuple stream and
+// statistics. This is the repository's core soundness property
+// (DESIGN.md §4) under adversarial structure.
+func TestFuzzCrossEngine(t *testing.T) {
+	iterations := 300
+	if testing.Short() {
+		iterations = 60
+	}
+	rng := rand.New(rand.NewSource(20160523)) // the paper's workshop date
+	for trial := 0; trial < iterations; trial++ {
+		s := randomSpace(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random space: %v", trial, err)
+		}
+		prog, err := plan.Compile(s, plan.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		comp, err := NewCompiled(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, wantStats, err := CollectTuples(comp, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if wantStats.TotalVisits() > 2_000_000 {
+			continue // unusually large space; skip to keep the fuzz fast
+		}
+		for _, e := range []Engine{NewInterp(prog), NewVM(prog)} {
+			for _, p := range []Protocol{ProtoDefault, ProtoWhile, ProtoRange, ProtoRepeat} {
+				got, st, err := collectWithProtocol(e, p)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: %v", trial, e.Name(), p, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s/%s: %d tuples, want %d\nspace:\n%s",
+						trial, e.Name(), p, len(got), len(want), prog.Describe())
+				}
+				if !reflect.DeepEqual(st.Kills, wantStats.Kills) {
+					t.Fatalf("trial %d %s/%s: kills %v want %v\nspace:\n%s",
+						trial, e.Name(), p, st.Kills, wantStats.Kills, prog.Describe())
+				}
+			}
+		}
+		// Hoisting ablation preserves the survivor set.
+		progN, err := plan.Compile(s, plan.Options{DisableHoisting: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		compN, err := NewCompiled(progN)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gotN, _, err := CollectTuples(compN, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotN, want) {
+			t.Fatalf("trial %d: hoisting changed survivors (%d vs %d)\nspace:\n%s",
+				trial, len(gotN), len(want), prog.Describe())
+		}
+		// Parallel split preserves counts.
+		stPar, err := comp.Run(Options{Workers: 3})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stPar.Survivors != wantStats.Survivors || !reflect.DeepEqual(stPar.Kills, wantStats.Kills) {
+			t.Fatalf("trial %d: parallel stats diverge\nspace:\n%s", trial, prog.Describe())
+		}
+	}
+}
+
+func collectWithProtocol(e Engine, p Protocol) ([][]int64, *Stats, error) {
+	var out [][]int64
+	st, err := e.Run(Options{Protocol: p, OnTuple: func(tu []int64) bool {
+		cp := make([]int64, len(tu))
+		copy(cp, tu)
+		out = append(out, cp)
+		return true
+	}})
+	return out, st, err
+}

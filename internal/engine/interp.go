@@ -1,0 +1,491 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// Interp is the tree-walking interpreter backend, the stand-in for the
+// paper's Python front end. It reproduces CPython's cost model deliberately:
+//
+//   - every value is boxed (expr.Value);
+//   - every variable access is an associative-array lookup keyed by name —
+//     §XI.B attributes Python's loop overhead to exactly this ("Python's
+//     access to variables is through associative array lookup; there is one
+//     array per lexical scope");
+//   - every operator application dispatches on the node type and re-checks
+//     operand kinds, as CPython's eval loop does per opcode;
+//   - under ProtoWhile even the loop condition and increment run through
+//     this machinery, and under ProtoRange the whole iteration list is
+//     materialized first, reproducing the Figure 17 variants.
+//
+// The compiled backends read the same plan.Program; only the evaluation
+// strategy differs, which is what the paper's Figures 17–19 isolate.
+type Interp struct {
+	prog *plan.Program
+}
+
+// NewInterp returns an interpreter for prog.
+func NewInterp(prog *plan.Program) *Interp { return &Interp{prog: prog} }
+
+// Name implements Engine.
+func (in *Interp) Name() string { return "interp" }
+
+// Run implements Engine.
+func (in *Interp) Run(opts Options) (*Stats, error) {
+	return run(in.prog, in, opts)
+}
+
+// ienv is the interpreter's associative environment: one flat name->value
+// table, as in a Python lexical scope.
+type ienv map[string]expr.Value
+
+// evalMap walks the expression tree against the associative environment.
+// This duplicates expr.Expr.Eval on purpose: the slot-based Eval is the
+// specialized path the compiled backends build on, while this walker is the
+// dynamic-language cost model.
+func evalMap(e expr.Expr, env ienv) expr.Value {
+	switch n := e.(type) {
+	case *expr.Lit:
+		return n.V
+	case *expr.Ref:
+		v, ok := env[n.Name]
+		if !ok {
+			panic(fmt.Sprintf("interp: NameError: %q is not defined", n.Name))
+		}
+		return v
+	case *expr.Unary:
+		v := evalMap(n.X, env)
+		if n.Op == expr.OpNot {
+			return expr.BoolVal(!v.Truthy())
+		}
+		i, ok := v.AsInt()
+		if !ok {
+			panic(&expr.TypeError{Op: "-", A: v})
+		}
+		return expr.IntVal(-i)
+	case *expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			l := evalMap(n.L, env)
+			if !l.Truthy() {
+				return l
+			}
+			return evalMap(n.R, env)
+		case expr.OpOr:
+			l := evalMap(n.L, env)
+			if l.Truthy() {
+				return l
+			}
+			return evalMap(n.R, env)
+		}
+		l, r := evalMap(n.L, env), evalMap(n.R, env)
+		return applyBinary(n.Op, l, r)
+	case *expr.Ternary:
+		if evalMap(n.Cond, env).Truthy() {
+			return evalMap(n.Then, env)
+		}
+		return evalMap(n.Else, env)
+	case *expr.Call:
+		switch n.Fn {
+		case "min", "max":
+			best, ok := evalMap(n.Args[0], env).AsInt()
+			if !ok {
+				panic(&expr.TypeError{Op: n.Fn, A: evalMap(n.Args[0], env)})
+			}
+			for _, a := range n.Args[1:] {
+				v, ok := evalMap(a, env).AsInt()
+				if !ok {
+					panic(&expr.TypeError{Op: n.Fn, A: evalMap(a, env)})
+				}
+				if (n.Fn == "min" && v < best) || (n.Fn == "max" && v > best) {
+					best = v
+				}
+			}
+			return expr.IntVal(best)
+		case "abs":
+			v, ok := evalMap(n.Args[0], env).AsInt()
+			if !ok {
+				panic(&expr.TypeError{Op: "abs", A: evalMap(n.Args[0], env)})
+			}
+			if v < 0 {
+				v = -v
+			}
+			return expr.IntVal(v)
+		}
+		panic(fmt.Sprintf("interp: unknown builtin %q", n.Fn))
+	case *expr.Table2D:
+		row, ok1 := evalMap(n.Row, env).AsInt()
+		col, ok2 := evalMap(n.Col, env).AsInt()
+		if !ok1 || !ok2 {
+			panic(&expr.TypeError{Op: "[]", A: evalMap(n.Row, env)})
+		}
+		if row < 0 || row >= int64(len(n.Data)) {
+			return expr.IntVal(n.Default)
+		}
+		r := n.Data[row]
+		if col < 0 || col >= int64(len(r)) {
+			return expr.IntVal(n.Default)
+		}
+		return expr.IntVal(r[col])
+	default:
+		panic(fmt.Sprintf("interp: unsupported expression type %T", e))
+	}
+}
+
+func applyBinary(op expr.Op, l, r expr.Value) expr.Value {
+	switch op {
+	case expr.OpEq:
+		return expr.BoolVal(l.Equal(r))
+	case expr.OpNe:
+		return expr.BoolVal(!l.Equal(r))
+	case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+		c, ok := l.Compare(r)
+		if !ok {
+			panic(&expr.TypeError{Op: op.String(), A: l, B: r})
+		}
+		switch op {
+		case expr.OpLt:
+			return expr.BoolVal(c < 0)
+		case expr.OpLe:
+			return expr.BoolVal(c <= 0)
+		case expr.OpGt:
+			return expr.BoolVal(c > 0)
+		default:
+			return expr.BoolVal(c >= 0)
+		}
+	case expr.OpAdd:
+		if l.K == expr.Str || r.K == expr.Str {
+			if l.K == expr.Str && r.K == expr.Str {
+				return expr.StrVal(l.S + r.S)
+			}
+			panic(&expr.TypeError{Op: "+", A: l, B: r})
+		}
+		return expr.IntVal(l.I + r.I)
+	}
+	li, lok := l.AsInt()
+	ri, rok := r.AsInt()
+	if !lok || !rok {
+		panic(&expr.TypeError{Op: op.String(), A: l, B: r})
+	}
+	switch op {
+	case expr.OpSub:
+		return expr.IntVal(li - ri)
+	case expr.OpMul:
+		return expr.IntVal(li * ri)
+	case expr.OpDiv:
+		return expr.IntVal(expr.FloorDiv(li, ri))
+	case expr.OpMod:
+		return expr.IntVal(expr.FloorMod(li, ri))
+	}
+	panic(fmt.Sprintf("interp: bad binary op %v", op))
+}
+
+// iterateMap enumerates a domain against the associative environment.
+func iterateMap(d space.DomainExpr, env ienv, yield func(int64) bool) bool {
+	switch n := d.(type) {
+	case *space.RangeDomain:
+		start, stop, step, ok := spanMap(n, env)
+		if !ok {
+			return true
+		}
+		if step > 0 {
+			for v := start; v < stop; v += step {
+				if !yield(v) {
+					return false
+				}
+			}
+		} else {
+			for v := start; v > stop; v += step {
+				if !yield(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *space.ListDomain:
+		for _, e := range n.Elems {
+			v, ok := evalMap(e, env).AsInt()
+			if !ok {
+				panic(&expr.TypeError{Op: "list element", A: evalMap(e, env)})
+			}
+			if !yield(v) {
+				return false
+			}
+		}
+		return true
+	case *space.CondDomain:
+		if evalMap(n.Cond, env).Truthy() {
+			return iterateMap(n.Then, env, yield)
+		}
+		return iterateMap(n.Else, env, yield)
+	case *space.AlgebraDomain:
+		var vals []int64
+		collect := func(d space.DomainExpr) []int64 {
+			var out []int64
+			iterateMap(d, env, func(v int64) bool { out = append(out, v); return true })
+			return out
+		}
+		lv, rv := collect(n.L), collect(n.R)
+		ref := &space.AlgebraDomain{Op: n.Op, L: space.NewIntList(lv...), R: space.NewIntList(rv...)}
+		ref.Iterate(&expr.Env{}, func(v int64) bool { vals = append(vals, v); return true })
+		for _, v := range vals {
+			if !yield(v) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("interp: unsupported domain type %T", d))
+	}
+}
+
+func spanMap(r *space.RangeDomain, env ienv) (start, stop, step int64, ok bool) {
+	s, ok1 := evalMap(r.Start, env).AsInt()
+	e, ok2 := evalMap(r.Stop, env).AsInt()
+	st, ok3 := evalMap(r.Step, env).AsInt()
+	if !ok1 || !ok2 || !ok3 || st == 0 {
+		return 0, 0, 0, false
+	}
+	return s, e, st, true
+}
+
+type interpState struct {
+	in    *Interp
+	env   ienv
+	stats *Stats
+	opts  Options
+	tuple []int64
+	// mute suppresses constraint-check counting (prelude deduplication
+	// across parallel workers); assignments and rejection still apply.
+	mute bool
+}
+
+func (in *Interp) runSeq(opts Options, outer []int64, countPrelude bool) (st *Stats, err error) {
+	defer recoverRunError(&err)
+	env := make(ienv, in.prog.NumSlots()+8)
+	for _, s := range in.prog.Settings {
+		env[s.Name] = s.V
+	}
+	state := &interpState{
+		in:    in,
+		env:   env,
+		stats: NewStats(in.prog),
+		opts:  opts,
+		tuple: make([]int64, len(in.prog.Loops)),
+	}
+	state.mute = !countPrelude
+	ok, rejected := state.steps(in.prog.Prelude)
+	state.mute = false
+	if rejected || !ok {
+		return state.stats, nil
+	}
+	if len(in.prog.Loops) == 0 {
+		state.survivor()
+		return state.stats, nil
+	}
+	state.loop(0, outer)
+	return state.stats, nil
+}
+
+// steps executes a step list; it reports (continueEnumeration,
+// constraintRejected).
+func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
+	for i := range steps {
+		st := &steps[i]
+		if st.Kind == plan.AssignStep {
+			s.env[st.Name] = evalMap(st.Expr, s.env)
+			continue
+		}
+		if !s.mute {
+			s.stats.Checks[st.StatsID]++
+		}
+		var kill bool
+		if st.Constraint.Deferred() {
+			args := make([]expr.Value, len(st.Constraint.DeclaredDeps))
+			for i, dep := range st.Constraint.DeclaredDeps {
+				args[i] = s.env[dep]
+			}
+			kill = st.Constraint.Fn(args)
+		} else {
+			kill = evalMap(st.Expr, s.env).Truthy()
+		}
+		if kill {
+			if !s.mute {
+				s.stats.Kills[st.StatsID]++
+			}
+			return true, true
+		}
+	}
+	return true, false
+}
+
+// survivor records a passing tuple; it reports whether to continue.
+func (s *interpState) survivor() bool {
+	s.stats.Survivors++
+	if s.opts.OnTuple != nil {
+		for i, lp := range s.in.prog.Loops {
+			s.tuple[i] = s.env[lp.Iter.Name].I
+		}
+		if !s.opts.OnTuple(s.tuple) {
+			s.stats.Stopped = true
+			return false
+		}
+	}
+	if s.opts.Limit > 0 && s.stats.Survivors >= s.opts.Limit {
+		s.stats.Stopped = true
+		return false
+	}
+	return true
+}
+
+// body binds value v at depth d, runs the hoisted steps, and recurses.
+// It reports whether to continue iterating at depth d.
+func (s *interpState) body(d int, v int64) bool {
+	lp := s.in.prog.Loops[d]
+	s.env[lp.Iter.Name] = expr.IntVal(v)
+	s.stats.LoopVisits[d]++
+	ok, rejected := s.steps(lp.Steps)
+	if !ok {
+		return false
+	}
+	if rejected {
+		return true // pruned: next value at this depth
+	}
+	if d == len(s.in.prog.Loops)-1 {
+		return s.survivor()
+	}
+	return s.loop(d+1, nil)
+}
+
+// loop enumerates depth d; outer overrides the domain at depth 0 when the
+// parallel driver splits the space. It reports whether to continue.
+func (s *interpState) loop(d int, outer []int64) bool {
+	if outer != nil {
+		for _, v := range outer {
+			if !s.body(d, v) {
+				return false
+			}
+		}
+		return true
+	}
+	lp := s.in.prog.Loops[d]
+	if lp.Iter.Kind != space.ExprIter {
+		args := make([]expr.Value, len(lp.Iter.DeclaredDeps))
+		for i, dep := range lp.Iter.DeclaredDeps {
+			args[i] = s.env[dep]
+		}
+		switch lp.Iter.Kind {
+		case space.DeferredIter:
+			dom := lp.Iter.Deferred(args)
+			if dom == nil {
+				return true
+			}
+			return dom.Iterate(&expr.Env{}, func(v int64) bool { return s.body(d, v) })
+		default: // ClosureIter
+			done := true
+			lp.Iter.Generator(args, func(v int64) bool {
+				if !s.body(d, v) {
+					done = false
+					return false
+				}
+				return true
+			})
+			return done
+		}
+	}
+	if r, isRange := lp.Domain.(*space.RangeDomain); isRange {
+		switch s.opts.Protocol {
+		case ProtoWhile:
+			return s.loopWhile(d, r)
+		case ProtoRange:
+			return s.loopRange(d, r)
+		default: // ProtoXRange and ProtoDefault stream the bounds.
+			return s.loopXRange(d, r)
+		}
+	}
+	return iterateMap(lp.Domain, s.env, func(v int64) bool { return s.body(d, v) })
+}
+
+// loopWhile evaluates the loop condition and increment as expression trees
+// every iteration — Figure 17's `while` variant, the slowest Python form
+// because all loop control (compare, add, both name lookups) goes through
+// the interpreted environment.
+func (s *interpState) loopWhile(d int, r *space.RangeDomain) bool {
+	start, stop, step, ok := spanMap(r, s.env)
+	if !ok {
+		return true
+	}
+	name := s.in.prog.Loops[d].Iter.Name
+	stopName, stepName := name+"$stop", name+"$step"
+	s.env[name] = expr.IntVal(start)
+	s.env[stopName] = expr.IntVal(stop)
+	s.env[stepName] = expr.IntVal(step)
+	varRef := expr.NewRef(name)
+	cond := expr.Lt(varRef, expr.NewRef(stopName))
+	if step < 0 {
+		cond = expr.Gt(varRef, expr.NewRef(stopName))
+	}
+	incr := expr.Add(varRef, expr.NewRef(stepName))
+	for evalMap(cond, s.env).Truthy() {
+		v := s.env[name].I
+		if !s.body(d, v) {
+			return false
+		}
+		s.env[name] = expr.IntVal(v)
+		s.env[name] = evalMap(incr, s.env)
+	}
+	return true
+}
+
+// loopRange materializes the full value list first — Figure 17's `range`
+// variant, which pays an allocation proportional to the iteration count.
+func (s *interpState) loopRange(d int, r *space.RangeDomain) bool {
+	start, stop, step, ok := spanMap(r, s.env)
+	if !ok {
+		return true
+	}
+	var vals []int64
+	if step > 0 {
+		for v := start; v < stop; v += step {
+			vals = append(vals, v)
+		}
+	} else {
+		for v := start; v > stop; v += step {
+			vals = append(vals, v)
+		}
+	}
+	for _, v := range vals {
+		if !s.body(d, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// loopXRange streams the range with per-value name binding — Figure 17's
+// `xrange` variant, where loop control lives inside the interpreter runtime
+// but the body still pays associative access.
+func (s *interpState) loopXRange(d int, r *space.RangeDomain) bool {
+	start, stop, step, ok := spanMap(r, s.env)
+	if !ok {
+		return true
+	}
+	if step > 0 {
+		for v := start; v < stop; v += step {
+			if !s.body(d, v) {
+				return false
+			}
+		}
+	} else {
+		for v := start; v > stop; v += step {
+			if !s.body(d, v) {
+				return false
+			}
+		}
+	}
+	return true
+}

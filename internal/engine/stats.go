@@ -1,0 +1,138 @@
+// Package engine evaluates compiled search-space programs. It provides the
+// three backends whose relative performance the paper's evaluation section
+// measures —
+//
+//   - Interp: a tree-walking interpreter over boxed values, the stand-in for
+//     the Python front end of Figure 17 (with the while/range/xrange loop
+//     protocols as selectable variants);
+//   - VM: a stack bytecode virtual machine in the style of Lua 5.1, the
+//     stand-in for the earlier Lua-based BEAST backend of Figure 18 (with
+//     while/repeat/for loop protocols);
+//   - Compiled: closure compilation to native Go code, the stand-in for the
+//     generated standard C of Figure 19;
+//
+// plus a multithreaded driver that splits the outermost loop across workers,
+// the parallelization §X.B says the level sets make possible at L0.
+//
+// All backends consume the same plan.Program and are required (and
+// property-tested) to enumerate identical surviving tuples with identical
+// pruning statistics.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// Stats aggregates enumeration counters: how hard each loop worked and how
+// many candidates each constraint removed. They drive the pruning-funnel
+// report and the visualization (the paper's §III contribution (3) and
+// ref [7]).
+type Stats struct {
+	// LoopVisits[d] counts bindings of the loop variable at depth d.
+	LoopVisits []int64
+
+	// Checks[i] and Kills[i] count evaluations and rejections of
+	// constraint i (plan StatsID order).
+	Checks []int64
+	Kills  []int64
+
+	// Survivors counts tuples that passed every constraint.
+	Survivors int64
+
+	// Stopped reports that enumeration ended early (callback returned
+	// false or the survivor limit was reached).
+	Stopped bool
+}
+
+// NewStats returns zeroed counters sized for prog.
+func NewStats(prog *plan.Program) *Stats {
+	return &Stats{
+		LoopVisits: make([]int64, len(prog.Loops)),
+		Checks:     make([]int64, len(prog.Constraints)),
+		Kills:      make([]int64, len(prog.Constraints)),
+	}
+}
+
+// Merge adds other's counters into s.
+func (s *Stats) Merge(other *Stats) {
+	for i := range s.LoopVisits {
+		s.LoopVisits[i] += other.LoopVisits[i]
+	}
+	for i := range s.Checks {
+		s.Checks[i] += other.Checks[i]
+		s.Kills[i] += other.Kills[i]
+	}
+	s.Survivors += other.Survivors
+	s.Stopped = s.Stopped || other.Stopped
+}
+
+// TotalVisits returns the sum of loop visits across depths: the paper's
+// "iterations" count for the loop-nest benchmarks.
+func (s *Stats) TotalVisits() int64 {
+	var t int64
+	for _, v := range s.LoopVisits {
+		t += v
+	}
+	return t
+}
+
+// TotalKills returns the number of pruned candidates across constraints.
+func (s *Stats) TotalKills() int64 {
+	var t int64
+	for _, v := range s.Kills {
+		t += v
+	}
+	return t
+}
+
+// PruneRate returns the fraction of checked candidates that were killed at
+// the innermost level: kills / (kills + survivors). The paper quotes spaces
+// pruned "by as much as 99%" (§VI).
+func (s *Stats) PruneRate() float64 {
+	total := float64(s.TotalKills() + s.Survivors)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TotalKills()) / total
+}
+
+// FunnelRow is one line of the pruning-funnel report.
+type FunnelRow struct {
+	Name   string
+	Class  space.Class
+	Checks int64
+	Kills  int64
+}
+
+// Funnel returns per-constraint rows in plan order.
+func (s *Stats) Funnel(prog *plan.Program) []FunnelRow {
+	rows := make([]FunnelRow, len(prog.Constraints))
+	for i, c := range prog.Constraints {
+		rows[i] = FunnelRow{Name: c.Name, Class: c.Class, Checks: s.Checks[i], Kills: s.Kills[i]}
+	}
+	return rows
+}
+
+// FunnelReport renders a fixed-width pruning report: constraints sorted by
+// kill count, with the survivor line at the bottom.
+func (s *Stats) FunnelReport(prog *plan.Program) string {
+	rows := s.Funnel(prog)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Kills > rows[j].Kills })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %14s %14s %8s\n", "constraint", "class", "checked", "killed", "kill%")
+	for _, r := range rows {
+		pct := 0.0
+		if r.Checks > 0 {
+			pct = 100 * float64(r.Kills) / float64(r.Checks)
+		}
+		fmt.Fprintf(&b, "%-28s %-12s %14d %14d %7.2f%%\n", r.Name, r.Class, r.Checks, r.Kills, pct)
+	}
+	fmt.Fprintf(&b, "%-28s %-12s %14s %14d\n", "survivors", "", "", s.Survivors)
+	fmt.Fprintf(&b, "prune rate: %.4f%% of candidates rejected\n", 100*s.PruneRate())
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// stringSlots returns the environment slots holding string-valued
+// settings, keyed to their names.
+func stringSlots(prog *plan.Program) map[int]string {
+	out := make(map[int]string)
+	for _, s := range prog.Settings {
+		if s.V.K == expr.Str {
+			out[s.Slot] = s.Name
+		}
+	}
+	return out
+}
+
+// checkNoStringRefs rejects expressions that read string-valued setting
+// slots: on the raw int64 register file those slots hold no meaningful
+// value, so compiling such an expression would silently compute garbage
+// where the interpreter raises a type error. Folding (the planner
+// default) removes these references; reaching one here means the program
+// was compiled with folding disabled.
+func checkNoStringRefs(e expr.Expr, bad map[int]string) error {
+	var err error
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		if err != nil {
+			return
+		}
+		switch n := e.(type) {
+		case *expr.Ref:
+			if name, ok := bad[n.Slot]; ok {
+				err = fmt.Errorf("expression reads string setting %q; specialize the program first (enable folding)", name)
+			}
+		case *expr.Unary:
+			walk(n.X)
+		case *expr.Binary:
+			walk(n.L)
+			walk(n.R)
+		case *expr.Ternary:
+			walk(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *expr.Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *expr.Table2D:
+			walk(n.Row)
+			walk(n.Col)
+		}
+	}
+	walk(e)
+	return err
+}
+
+// checkProgramStrings applies checkNoStringRefs to every expression of the
+// planned program, domains included. Shared by the Compiled and VM
+// backends. Deferred host functions are exempt: they receive boxed values
+// through their argument slots and handle strings themselves.
+func checkProgramStrings(prog *plan.Program) error {
+	bad := stringSlots(prog)
+	if len(bad) == 0 {
+		return nil
+	}
+	checkSteps := func(steps []plan.Step) error {
+		for _, st := range steps {
+			if st.Expr == nil {
+				continue
+			}
+			if err := checkNoStringRefs(st.Expr, bad); err != nil {
+				return fmt.Errorf("step %s: %w", st.Name, err)
+			}
+		}
+		return nil
+	}
+	if err := checkSteps(prog.Prelude); err != nil {
+		return err
+	}
+	var checkDomain func(d space.DomainExpr) error
+	checkDomain = func(d space.DomainExpr) error {
+		switch n := d.(type) {
+		case *space.RangeDomain:
+			for _, e := range []expr.Expr{n.Start, n.Stop, n.Step} {
+				if err := checkNoStringRefs(e, bad); err != nil {
+					return err
+				}
+			}
+		case *space.ListDomain:
+			for _, e := range n.Elems {
+				if err := checkNoStringRefs(e, bad); err != nil {
+					return err
+				}
+			}
+		case *space.CondDomain:
+			if err := checkNoStringRefs(n.Cond, bad); err != nil {
+				return err
+			}
+			if err := checkDomain(n.Then); err != nil {
+				return err
+			}
+			return checkDomain(n.Else)
+		case *space.AlgebraDomain:
+			if err := checkDomain(n.L); err != nil {
+				return err
+			}
+			return checkDomain(n.R)
+		}
+		return nil
+	}
+	for _, lp := range prog.Loops {
+		if lp.Domain != nil {
+			if err := checkDomain(lp.Domain); err != nil {
+				return fmt.Errorf("iterator %s: %w", lp.Iter.Name, err)
+			}
+		}
+		if err := checkSteps(lp.Steps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

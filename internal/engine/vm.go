@@ -1,0 +1,732 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// VM is the bytecode backend: the program compiles to a flat instruction
+// stream interpreted by a fetch-decode-dispatch loop over an int64 register
+// file and operand stack. Its cost profile — one dispatch per operation,
+// unboxed values, Lua-5.1-style dedicated numeric-for opcodes — is the
+// stand-in for the Lua backend that earlier BEAST releases used and that
+// Figure 18 measures: faster than the boxed tree-walker, slower than
+// compiled code.
+//
+// The Protocol option selects how range loops compile, mirroring the
+// figure's syntactic variants:
+//
+//	ProtoXRange (default) — dedicated FORTEST/FORINCR opcodes (Lua `for`)
+//	ProtoWhile            — generic compare + conditional jump per iteration
+//	ProtoRepeat           — post-test loop with a hoisted emptiness check
+type VM struct {
+	prog *plan.Program
+}
+
+// NewVM returns a bytecode engine for prog. Compilation happens per run
+// (it is linear in program size and lets the parallel driver specialize the
+// outermost loop per worker).
+func NewVM(prog *plan.Program) *VM { return &VM{prog: prog} }
+
+// Name implements Engine.
+func (vm *VM) Name() string { return "vm" }
+
+// Run implements Engine.
+func (vm *VM) Run(opts Options) (*Stats, error) {
+	return run(vm.prog, vm, opts)
+}
+
+type opcode uint8
+
+const (
+	opHalt  opcode = iota
+	opPushC        // push consts[a]
+	opLoad         // push reg[a]
+	opStore        // reg[a] = pop
+	opDup          // duplicate top
+	opPop          // drop top
+	opAdd          // binary arithmetic: pop r, pop l, push l?r
+	opSub
+	opMul
+	opDiv
+	opMod
+	opNeg
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opNot
+	opMinN // pop a values, push min
+	opMaxN // pop a values, push max
+	opAbs
+	opTable   // pop col, pop row, push tables[a][row][col] or default b
+	opJmp     // pc = a
+	opJz      // pop; if zero pc = a
+	opJnz     // pop; if nonzero pc = a
+	opForPrep // pop step->reg[c], stop->reg[b], start->reg[a]
+	opForTest // if !(reg[c]>0 ? reg[a]<reg[b] : (reg[c]<0 ? reg[a]>reg[b] : false)) pc = d
+	opForIncr // reg[a] += reg[c]; pc = d
+	opHostDom // bufs[a] = materialize hostDoms[a]; reg[b] = 0 (cursor)
+	opForList // if reg[b] >= len(bufs[a]) pc = d else reg[c] = bufs[a][reg[b]]
+	opListInc // reg[b]++; pc = d
+	opVisit   // stats.LoopVisits[a]++
+	opCheck   // pop; stats.Checks[a]++; if nonzero { stats.Kills[a]++; pc = b }
+	opHostChk // if deferredChks[a](reg) { stats.Kills[a]++; pc = b } (checks counted too)
+	opSurvive // survivor bookkeeping; may halt enumeration
+)
+
+type instr struct {
+	op         opcode
+	a, b, c, d int32
+}
+
+// vmCode is one compiled instruction stream plus its constant and host
+// tables.
+type vmCode struct {
+	ins        []instr
+	consts     []int64
+	tables     [][][]int64
+	hostDoms   []compiledDomain
+	deferred   []func(r []int64) bool
+	deferIDs   []int32 // stats id per deferred check
+	nregs      int
+	tupleSlots []int32
+}
+
+type vmAssembler struct {
+	vm       *VM
+	code     *vmCode
+	settings map[int]expr.Value
+	protocol Protocol
+	// temp register bases
+	stopT, stepT, posT []int32
+	// mutePrelude emits prelude checks without stats counting (parallel
+	// prelude deduplication).
+	mutePrelude bool
+	err         error
+}
+
+func (vm *VM) runSeq(opts Options, outer []int64, countPrelude bool) (st *Stats, err error) {
+	defer recoverRunError(&err)
+	if cerr := checkProgramStrings(vm.prog); cerr != nil {
+		return nil, fmt.Errorf("vm: %w", cerr)
+	}
+	code, cerr := vm.compile(opts.Protocol, outer, countPrelude)
+	if cerr != nil {
+		return nil, cerr
+	}
+	stats := NewStats(vm.prog)
+	vm.exec(code, stats, opts)
+	return stats, nil
+}
+
+// compile translates the planned program into bytecode. When outer is
+// non-nil the outermost loop iterates that explicit value list (the parallel
+// driver's share) through the list-loop opcodes.
+func (vm *VM) compile(protocol Protocol, outer []int64, countPrelude bool) (*vmCode, error) {
+	prog := vm.prog
+	n := len(prog.Loops)
+	base := int32(prog.NumSlots())
+	a := &vmAssembler{
+		vm:       vm,
+		code:     &vmCode{nregs: prog.NumSlots() + 3*n},
+		settings: prog.SettingBySlot(),
+		protocol: protocol,
+		stopT:    make([]int32, n),
+		stepT:    make([]int32, n),
+		posT:     make([]int32, n),
+	}
+	for d := 0; d < n; d++ {
+		a.stopT[d] = base + int32(3*d)
+		a.stepT[d] = base + int32(3*d+1)
+		a.posT[d] = base + int32(3*d+2)
+	}
+	a.code.hostDoms = make([]compiledDomain, n)
+	for _, lp := range prog.Loops {
+		a.code.tupleSlots = append(a.code.tupleSlots, int32(lp.Slot))
+	}
+	// Setting initialization is done by exec from the program directly.
+	a.mutePrelude = !countPrelude
+	for _, st := range prog.Prelude {
+		a.emitStepToHalt(st)
+	}
+	a.mutePrelude = false
+	if n == 0 {
+		a.emit(instr{op: opSurvive})
+		a.emit(instr{op: opHalt})
+		if a.err != nil {
+			return nil, a.err
+		}
+		return a.code, nil
+	}
+	a.emitLoop(0, outer)
+	a.emit(instr{op: opHalt})
+	if a.err != nil {
+		return nil, a.err
+	}
+	return a.code, nil
+}
+
+func (a *vmAssembler) emit(in instr) int32 {
+	a.code.ins = append(a.code.ins, in)
+	return int32(len(a.code.ins) - 1)
+}
+
+func (a *vmAssembler) here() int32 { return int32(len(a.code.ins)) }
+
+func (a *vmAssembler) patch(at int32, target int32) {
+	in := &a.code.ins[at]
+	switch in.op {
+	case opJmp, opJz, opJnz:
+		in.a = target
+	case opForTest, opForIncr, opForList, opListInc:
+		in.d = target
+	case opCheck, opHostChk:
+		in.b = target
+	default:
+		a.fail(fmt.Errorf("vm: cannot patch op %d", in.op))
+	}
+}
+
+func (a *vmAssembler) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *vmAssembler) constIdx(v int64) int32 {
+	for i, c := range a.code.consts {
+		if c == v {
+			return int32(i)
+		}
+	}
+	a.code.consts = append(a.code.consts, v)
+	return int32(len(a.code.consts) - 1)
+}
+
+// emitExpr compiles e, leaving its value on the stack.
+func (a *vmAssembler) emitExpr(e expr.Expr) {
+	switch n := e.(type) {
+	case *expr.Lit:
+		if n.V.K == expr.Str {
+			a.fail(fmt.Errorf("vm: string literal %s cannot be compiled; specialize the program first", n.V))
+			return
+		}
+		a.emit(instr{op: opPushC, a: a.constIdx(n.V.I)})
+	case *expr.Ref:
+		if n.Slot < 0 {
+			a.fail(fmt.Errorf("vm: unbound reference %q", n.Name))
+			return
+		}
+		a.emit(instr{op: opLoad, a: int32(n.Slot)})
+	case *expr.Unary:
+		a.emitExpr(n.X)
+		if n.Op == expr.OpNeg {
+			a.emit(instr{op: opNeg})
+		} else {
+			a.emit(instr{op: opNot})
+		}
+	case *expr.Binary:
+		a.emitBinary(n)
+	case *expr.Ternary:
+		a.emitExpr(n.Cond)
+		jz := a.emit(instr{op: opJz})
+		a.emitExpr(n.Then)
+		jend := a.emit(instr{op: opJmp})
+		a.patch(jz, a.here())
+		a.emitExpr(n.Else)
+		a.patch(jend, a.here())
+	case *expr.Call:
+		for _, arg := range n.Args {
+			a.emitExpr(arg)
+		}
+		switch n.Fn {
+		case "min":
+			a.emit(instr{op: opMinN, a: int32(len(n.Args))})
+		case "max":
+			a.emit(instr{op: opMaxN, a: int32(len(n.Args))})
+		case "abs":
+			a.emit(instr{op: opAbs})
+		default:
+			a.fail(fmt.Errorf("vm: unknown builtin %q", n.Fn))
+		}
+	case *expr.Table2D:
+		a.emitExpr(n.Row)
+		a.emitExpr(n.Col)
+		a.code.tables = append(a.code.tables, n.Data)
+		a.emit(instr{op: opTable, a: int32(len(a.code.tables) - 1), b: int32(n.Default)})
+	default:
+		a.fail(fmt.Errorf("vm: unsupported expression type %T", e))
+	}
+}
+
+func (a *vmAssembler) emitBinary(n *expr.Binary) {
+	switch n.Op {
+	case expr.OpAnd:
+		a.emitExpr(n.L)
+		a.emit(instr{op: opDup})
+		jz := a.emit(instr{op: opJz})
+		a.emit(instr{op: opPop})
+		a.emitExpr(n.R)
+		a.patch(jz, a.here())
+		return
+	case expr.OpOr:
+		a.emitExpr(n.L)
+		a.emit(instr{op: opDup})
+		jnz := a.emit(instr{op: opJnz})
+		a.emit(instr{op: opPop})
+		a.emitExpr(n.R)
+		a.patch(jnz, a.here())
+		return
+	}
+	a.emitExpr(n.L)
+	a.emitExpr(n.R)
+	var op opcode
+	switch n.Op {
+	case expr.OpAdd:
+		op = opAdd
+	case expr.OpSub:
+		op = opSub
+	case expr.OpMul:
+		op = opMul
+	case expr.OpDiv:
+		op = opDiv
+	case expr.OpMod:
+		op = opMod
+	case expr.OpEq:
+		op = opEq
+	case expr.OpNe:
+		op = opNe
+	case expr.OpLt:
+		op = opLt
+	case expr.OpLe:
+		op = opLe
+	case expr.OpGt:
+		op = opGt
+	case expr.OpGe:
+		op = opGe
+	default:
+		a.fail(fmt.Errorf("vm: bad binary op %v", n.Op))
+		return
+	}
+	a.emit(instr{op: op})
+}
+
+// emitStep compiles one loop-body step; a rejecting check jumps to
+// killTarget (patched later via the returned patch list). It returns the
+// instruction index to patch, or -1.
+func (a *vmAssembler) emitStep(st plan.Step, _ int32) int32 {
+	if st.Kind == plan.AssignStep {
+		a.emitExpr(st.Expr)
+		a.emit(instr{op: opStore, a: int32(st.Slot)})
+		return -1
+	}
+	if st.Constraint.Deferred() {
+		idx := a.addDeferred(st)
+		if a.mutePrelude {
+			a.code.deferIDs[idx] = -1
+		}
+		return a.emit(instr{op: opHostChk, a: idx})
+	}
+	a.emitExpr(st.Expr)
+	statsID := int32(st.StatsID)
+	if a.mutePrelude {
+		statsID = -1
+	}
+	return a.emit(instr{op: opCheck, a: statsID})
+}
+
+// emitStepToHalt compiles a prelude step whose rejection halts the program.
+func (a *vmAssembler) emitStepToHalt(st plan.Step) {
+	at := a.emitStep(st, -1)
+	if at < 0 {
+		return
+	}
+	j := a.emit(instr{op: opJmp}) // taken on pass: skip the halt
+	halt := a.emit(instr{op: opHalt})
+	a.patch(at, halt)
+	a.patch(j, a.here())
+}
+
+func (a *vmAssembler) addDeferred(st plan.Step) int32 {
+	cn := st.Constraint
+	slots := st.ArgSlots
+	settings := a.settings
+	fn := func(r []int64) bool {
+		args := make([]expr.Value, len(slots))
+		for i, s := range slots {
+			if v, ok := settings[s]; ok && v.K == expr.Str {
+				args[i] = v
+			} else {
+				args[i] = expr.IntVal(r[s])
+			}
+		}
+		return cn.Fn(args)
+	}
+	a.code.deferred = append(a.code.deferred, fn)
+	a.code.deferIDs = append(a.code.deferIDs, int32(st.StatsID))
+	return int32(len(a.code.deferred) - 1)
+}
+
+// emitLoop compiles the loop nest at depth d. outer, non-nil only at depth
+// 0, routes the outermost loop through an explicit value buffer.
+func (a *vmAssembler) emitLoop(d int, outer []int64) {
+	prog := a.vm.prog
+	lp := prog.Loops[d]
+	varReg := int32(lp.Slot)
+
+	useList := outer != nil || lp.Iter.Kind != space.ExprIter
+	var rangeDomain *space.RangeDomain
+	if !useList {
+		if rd, ok := lp.Domain.(*space.RangeDomain); ok {
+			rangeDomain = rd
+		} else {
+			useList = true
+		}
+	}
+
+	// Body emission shared by all loop forms: visits, steps (kills jump to
+	// the loop continue point), inner nest or survivor.
+	emitBody := func() (killPatches []int32) {
+		a.emit(instr{op: opVisit, a: int32(d)})
+		for _, st := range lp.Steps {
+			if at := a.emitStep(st, -1); at >= 0 {
+				killPatches = append(killPatches, at)
+			}
+		}
+		if d == len(prog.Loops)-1 {
+			a.emit(instr{op: opSurvive})
+		} else {
+			a.emitLoop(d+1, nil)
+		}
+		return killPatches
+	}
+
+	if useList {
+		// List-driven loop: materialize via host, then cursor iteration.
+		if outer != nil {
+			a.code.hostDoms[d] = &listDom{elems: constFns(outer)}
+		} else if lp.Iter.Kind != space.ExprIter {
+			a.code.hostDoms[d] = &hostDom{iter: lp.Iter, argSlots: lp.ArgSlots, settings: a.settings}
+		} else {
+			dom, err := compileDomain(lp.Domain)
+			if err != nil {
+				a.fail(fmt.Errorf("vm: iterator %s: %w", lp.Iter.Name, err))
+				return
+			}
+			a.code.hostDoms[d] = dom
+		}
+		a.emit(instr{op: opHostDom, a: int32(d), b: a.posT[d]})
+		test := a.emit(instr{op: opForList, a: int32(d), b: a.posT[d], c: varReg})
+		kills := emitBody()
+		cont := a.here()
+		inc := a.emit(instr{op: opListInc, b: a.posT[d]})
+		a.patch(inc, test)
+		a.patch(test, a.here())
+		for _, at := range kills {
+			a.patch(at, cont)
+		}
+		return
+	}
+
+	// Range-driven loop, per protocol.
+	a.emitExpr(rangeDomain.Start)
+	a.emitExpr(rangeDomain.Stop)
+	a.emitExpr(rangeDomain.Step)
+	a.emit(instr{op: opForPrep, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+
+	stepLit, stepIsLit := rangeDomain.Step.(*expr.Lit)
+	switch a.protocol {
+	case ProtoWhile:
+		// Generic pre-test loop: compare, conditional jump, body, jump back.
+		var test int32
+		if stepIsLit && stepLit.V.I != 0 {
+			top := a.here()
+			a.emit(instr{op: opLoad, a: varReg})
+			a.emit(instr{op: opLoad, a: a.stopT[d]})
+			if stepLit.V.I > 0 {
+				a.emit(instr{op: opLt})
+			} else {
+				a.emit(instr{op: opGt})
+			}
+			test = a.emit(instr{op: opJz})
+			kills := emitBody()
+			cont := a.here()
+			a.emit(instr{op: opLoad, a: varReg})
+			a.emit(instr{op: opLoad, a: a.stepT[d]})
+			a.emit(instr{op: opAdd})
+			a.emit(instr{op: opStore, a: varReg})
+			back := a.emit(instr{op: opJmp})
+			a.patch(back, top)
+			a.patch(test, a.here())
+			for _, at := range kills {
+				a.patch(at, cont)
+			}
+			return
+		}
+		// Dynamic step sign: fall back to the dedicated test opcode but
+		// keep the generic increment sequence (the while shape).
+		top := a.here()
+		test = a.emit(instr{op: opForTest, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		kills := emitBody()
+		cont := a.here()
+		a.emit(instr{op: opLoad, a: varReg})
+		a.emit(instr{op: opLoad, a: a.stepT[d]})
+		a.emit(instr{op: opAdd})
+		a.emit(instr{op: opStore, a: varReg})
+		back := a.emit(instr{op: opJmp})
+		a.patch(back, top)
+		a.patch(test, a.here())
+		for _, at := range kills {
+			a.patch(at, cont)
+		}
+	case ProtoRepeat:
+		// Post-test loop with a hoisted emptiness check.
+		head := a.emit(instr{op: opForTest, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		top := a.here()
+		kills := emitBody()
+		cont := a.here()
+		inc := a.emit(instr{op: opForIncr, a: varReg, c: a.stepT[d]})
+		// repeat-until: after increment, test; if still in range, loop.
+		test := a.emit(instr{op: opForTest, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		back := a.emit(instr{op: opJmp})
+		a.patch(back, top)
+		exit := a.here()
+		a.patch(head, exit)
+		a.patch(test, exit)
+		// opForIncr carries its own jump target; aim it at the test.
+		a.code.ins[inc].d = int32(test)
+		for _, at := range kills {
+			a.patch(at, cont)
+		}
+	default: // ProtoXRange / ProtoDefault / ProtoRange: dedicated numeric for.
+		top := a.here()
+		test := a.emit(instr{op: opForTest, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		kills := emitBody()
+		cont := a.here()
+		inc := a.emit(instr{op: opForIncr, a: varReg, c: a.stepT[d]})
+		a.patch(inc, top)
+		a.patch(test, a.here())
+		for _, at := range kills {
+			a.patch(at, cont)
+		}
+	}
+}
+
+func constFns(vals []int64) []intFn {
+	out := make([]intFn, len(vals))
+	for i, v := range vals {
+		v := v
+		out[i] = func([]int64) int64 { return v }
+	}
+	return out
+}
+
+// exec interprets the bytecode.
+func (vm *VM) exec(code *vmCode, stats *Stats, opts Options) {
+	reg := make([]int64, code.nregs)
+	for _, s := range vm.prog.Settings {
+		if s.V.K != expr.Str {
+			reg[s.Slot] = s.V.I
+		}
+	}
+	bufs := make([][]int64, len(code.hostDoms))
+	stk := make([]int64, 0, 64)
+	tuple := make([]int64, len(code.tupleSlots))
+	ins := code.ins
+	pc := int32(0)
+	for {
+		in := &ins[pc]
+		pc++
+		switch in.op {
+		case opHalt:
+			return
+		case opPushC:
+			stk = append(stk, code.consts[in.a])
+		case opLoad:
+			stk = append(stk, reg[in.a])
+		case opStore:
+			reg[in.a] = stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+		case opDup:
+			stk = append(stk, stk[len(stk)-1])
+		case opPop:
+			stk = stk[:len(stk)-1]
+		case opAdd:
+			stk[len(stk)-2] += stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+		case opSub:
+			stk[len(stk)-2] -= stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+		case opMul:
+			stk[len(stk)-2] *= stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+		case opDiv:
+			stk[len(stk)-2] = expr.FloorDiv(stk[len(stk)-2], stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opMod:
+			stk[len(stk)-2] = expr.FloorMod(stk[len(stk)-2], stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opNeg:
+			stk[len(stk)-1] = -stk[len(stk)-1]
+		case opEq:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] == stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opNe:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] != stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opLt:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] < stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opLe:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] <= stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opGt:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] > stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opGe:
+			stk[len(stk)-2] = b2i(stk[len(stk)-2] >= stk[len(stk)-1])
+			stk = stk[:len(stk)-1]
+		case opNot:
+			stk[len(stk)-1] = b2i(stk[len(stk)-1] == 0)
+		case opMinN:
+			n := int(in.a)
+			best := stk[len(stk)-n]
+			for _, v := range stk[len(stk)-n+1:] {
+				if v < best {
+					best = v
+				}
+			}
+			stk = stk[:len(stk)-n+1]
+			stk[len(stk)-1] = best
+		case opMaxN:
+			n := int(in.a)
+			best := stk[len(stk)-n]
+			for _, v := range stk[len(stk)-n+1:] {
+				if v > best {
+					best = v
+				}
+			}
+			stk = stk[:len(stk)-n+1]
+			stk[len(stk)-1] = best
+		case opAbs:
+			if stk[len(stk)-1] < 0 {
+				stk[len(stk)-1] = -stk[len(stk)-1]
+			}
+		case opTable:
+			col := stk[len(stk)-1]
+			row := stk[len(stk)-2]
+			stk = stk[:len(stk)-1]
+			data := code.tables[in.a]
+			v := int64(in.b)
+			if row >= 0 && row < int64(len(data)) {
+				r := data[row]
+				if col >= 0 && col < int64(len(r)) {
+					v = r[col]
+				}
+			}
+			stk[len(stk)-1] = v
+		case opJmp:
+			pc = in.a
+		case opJz:
+			v := stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+			if v == 0 {
+				pc = in.a
+			}
+		case opJnz:
+			v := stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+			if v != 0 {
+				pc = in.a
+			}
+		case opForPrep:
+			reg[in.c] = stk[len(stk)-1] // step
+			reg[in.b] = stk[len(stk)-2] // stop
+			reg[in.a] = stk[len(stk)-3] // start
+			stk = stk[:len(stk)-3]
+		case opForTest:
+			v, stop, step := reg[in.a], reg[in.b], reg[in.c]
+			ok := (step > 0 && v < stop) || (step < 0 && v > stop)
+			if !ok {
+				pc = in.d
+			}
+		case opForIncr:
+			reg[in.a] += reg[in.c]
+			pc = in.d
+		case opHostDom:
+			var buf []int64
+			code.hostDoms[in.a].iterate(reg, func(v int64) bool {
+				buf = append(buf, v)
+				return true
+			})
+			bufs[in.a] = buf
+			reg[in.b] = 0
+		case opForList:
+			pos := reg[in.b]
+			buf := bufs[in.a]
+			if pos >= int64(len(buf)) {
+				pc = in.d
+			} else {
+				reg[in.c] = buf[pos]
+			}
+		case opListInc:
+			reg[in.b]++
+			pc = in.d
+		case opVisit:
+			stats.LoopVisits[in.a]++
+		case opCheck:
+			v := stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+			if in.a >= 0 {
+				stats.Checks[in.a]++
+			}
+			if v != 0 {
+				if in.a >= 0 {
+					stats.Kills[in.a]++
+				}
+				pc = in.b
+			}
+		case opHostChk:
+			id := code.deferIDs[in.a]
+			if id >= 0 {
+				stats.Checks[id]++
+			}
+			if code.deferred[in.a](reg) {
+				if id >= 0 {
+					stats.Kills[id]++
+				}
+				pc = in.b
+			}
+		case opSurvive:
+			stats.Survivors++
+			if opts.OnTuple != nil {
+				for i, s := range code.tupleSlots {
+					tuple[i] = reg[s]
+				}
+				if !opts.OnTuple(tuple) {
+					stats.Stopped = true
+					return
+				}
+			}
+			if opts.Limit > 0 && stats.Survivors >= opts.Limit {
+				stats.Stopped = true
+				return
+			}
+		default:
+			panic(fmt.Sprintf("vm: bad opcode %d at pc %d", in.op, pc-1))
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package gemm
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestFig16ArtifactInSync pins docs/fig16_gemm.dot — the repository's
+// rendering of the paper's Figure 16 dependency DAG — to the current GEMM
+// space. Regenerate with:
+//
+//	go run ./cmd/beast -gemm dgemm_nn -dot | tail -n +2 > docs/fig16_gemm.dot
+func TestFig16ArtifactInSync(t *testing.T) {
+	s, err := Space(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prog.Graph.DOT("beast space")
+	got, err := os.ReadFile("../../docs/fig16_gemm.dot")
+	if err != nil {
+		t.Fatalf("%v (regenerate per the comment above)", err)
+	}
+	if string(got) != want {
+		t.Error("docs/fig16_gemm.dot is stale; regenerate per the comment above")
+	}
+}
+
+// TestFig16Structure checks the DAG shape the paper's Figure 16
+// illustrates: iterators and constraints stratify into level sets, with
+// the thread-grid iterators at L0 and the reshape constraints furthest
+// down.
+func TestFig16Structure(t *testing.T) {
+	s, err := Space(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Graph
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) < 3 {
+		t.Fatalf("only %d level sets; expected a stratified DAG", len(levels))
+	}
+	// L0 holds the independent iterators.
+	l0 := strings.Join(levels[0], " ")
+	for _, want := range []string{"dim_m", "dim_n", "blk_k", "tex_a", "shmem_banks"} {
+		if !strings.Contains(l0, want) {
+			t.Errorf("L0 %v missing %s", levels[0], want)
+		}
+	}
+	// Dependencies run where the paper's figure shows them.
+	for _, e := range [][2]string{
+		{"dim_m", "blk_m"},
+		{"dim_n", "blk_n"},
+		{"dim_m", "threads_per_block"},
+		{"threads_per_block", "partial_warps"},
+		{"threads_per_block", "over_max_threads"},
+		{"blk_m", "thr_m"},
+		{"thr_m", "regs_per_thread"},
+		{"regs_per_block", "max_blocks_by_regs"},
+		{"dim_m_a", "cant_reshape_a1"},
+		{"dim_n_b", "cant_reshape_b1"},
+	} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing DAG edge %s -> %s", e[0], e[1])
+		}
+	}
+	// Constraints are sinks: nothing depends on them.
+	for _, c := range s.Constraints() {
+		if got := g.Successors(c.Name); len(got) != 0 {
+			t.Errorf("constraint %s has dependents %v", c.Name, got)
+		}
+	}
+	// Level sets respect the successor relation: every edge ascends.
+	levelOf := map[string]int{}
+	for l, names := range levels {
+		for _, n := range names {
+			levelOf[n] = l
+		}
+	}
+	for i := 0; i < g.Len(); i++ {
+		from := g.Name(i)
+		for _, to := range g.Successors(from) {
+			if levelOf[to] <= levelOf[from] {
+				t.Errorf("edge %s(L%d) -> %s(L%d) does not ascend", from, levelOf[from], to, levelOf[to])
+			}
+		}
+	}
+}

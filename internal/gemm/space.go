@@ -1,0 +1,297 @@
+package gemm
+
+import (
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// Short constructors keep the space definition readable next to the paper's
+// listings.
+func ref(n string) expr.Expr       { return expr.NewRef(n) }
+func lit(i int64) expr.Expr        { return expr.IntLit(i) }
+func add(a, b expr.Expr) expr.Expr { return expr.Add(a, b) }
+func mul(a, b expr.Expr) expr.Expr { return expr.Mul(a, b) }
+func div(a, b expr.Expr) expr.Expr { return expr.Div(a, b) }
+func mod(a, b expr.Expr) expr.Expr { return expr.Mod(a, b) }
+func eq(a, b expr.Expr) expr.Expr  { return expr.Eq(a, b) }
+func ne(a, b expr.Expr) expr.Expr  { return expr.Ne(a, b) }
+func gt(a, b expr.Expr) expr.Expr  { return expr.Gt(a, b) }
+func lt(a, b expr.Expr) expr.Expr  { return expr.Lt(a, b) }
+func and(a, b expr.Expr) expr.Expr { return expr.And(a, b) }
+func or(a, b expr.Expr) expr.Expr  { return expr.Or(a, b) }
+func str(s string) expr.Expr       { return expr.StrLit(s) }
+func rng(a, b expr.Expr) space.DomainExpr {
+	return space.NewRange(a, b)
+}
+func rngStep(a, b, c expr.Expr) space.DomainExpr {
+	return space.NewRangeStep(a, b, c)
+}
+
+// Space builds the complete GEMM search space of §IX for the given
+// configuration: global settings (Figure 10), device information (Figures
+// 8–9), the 15 iterators (Figure 11), the derived variables (Figure 12),
+// and the 12 pruning constraints (Figures 13–15: 4 hard, 4 soft, 4
+// correctness).
+//
+// The iterator bodies the paper writes as deferred Python functions
+// (@iterator def blk_m(dim_m): ...) lower here to expression iterators with
+// conditional domains, which keeps them visible to the dependency DAG and
+// translatable by the code generators; the conditionals over settings fold
+// away at plan time exactly as the paper's translator specializes its
+// generated C per precision and transpose case.
+func Space(cfg Config) (*space.Space, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev := cfg.Device
+	s := space.New()
+
+	// Figure 10: global settings.
+	s.StrSetting("precision", cfg.Precision)
+	s.StrSetting("arithmetic", cfg.Arithmetic)
+	s.IntSetting("trans_a", cfg.TransA)
+	s.IntSetting("trans_b", cfg.TransB)
+
+	// Figure 8: device query.
+	s.IntSetting("max_threads_per_block", dev.MaxThreadsPerBlock)
+	s.IntSetting("max_threads_dim_x", dev.MaxThreadsDimX)
+	s.IntSetting("max_threads_dim_y", dev.MaxThreadsDimY)
+	s.IntSetting("max_shared_mem_per_block", dev.MaxSharedMemPerBlock)
+	s.IntSetting("warp_size", dev.WarpSize)
+	s.IntSetting("max_regs_per_block", dev.MaxRegsPerBlock)
+	s.IntSetting("max_threads_per_multi_processor", dev.MaxThreadsPerMultiProcessor)
+	s.IntSetting("cudamajor", dev.CudaMajor)
+	s.IntSetting("cudaminor", dev.CudaMinor)
+	s.IntSetting("max_registers_per_multi_processor", dev.MaxRegistersPerMultiProcessor)
+	s.IntSetting("max_shmem_per_multi_processor", dev.MaxShmemPerMultiProcessor)
+	s.IntSetting("float_size", dev.FloatSize)
+
+	// Figure 9: compute-capability lookups, expressed through the Table2D
+	// node so the lookup itself is part of the declarative space (and
+	// folds to a constant once cudamajor/cudaminor are settings).
+	s.Derived("max_blocks_per_multi_processor", &expr.Table2D{
+		Name: "MaxBlocksPerMultiProcessor", Data: toTable(maxBlocksTable),
+		Row: ref("cudamajor"), Col: ref("cudaminor"), Default: -1,
+	})
+	s.Derived("max_warps_per_multi_processor", &expr.Table2D{
+		Name: "MaxWarpsPerMultiProcessor", Data: toTable(maxWarpsTable),
+		Row: ref("cudamajor"), Col: ref("cudaminor"), Default: -1,
+	})
+	s.Derived("max_registers_per_thread", &expr.Table2D{
+		Name: "MaxRegistersPerThread", Data: toTable(maxRegsThreadTable),
+		Row: ref("cudamajor"), Col: ref("cudaminor"), Default: -1,
+	})
+
+	// Figure 14's tuning thresholds.
+	s.IntSetting("min_threads_per_multi_processor", cfg.MinThreadsPerMultiprocessor)
+	s.IntSetting("min_fmas_per_load", cfg.MinFMAsPerLoad)
+
+	// ------------------------------------------------------------------
+	// Figure 11: the 15 iterators.
+	// ------------------------------------------------------------------
+
+	// dim_m, dim_n: the thread grid computing C.
+	s.Range("dim_m", lit(1), add(ref("max_threads_dim_x"), lit(1)))
+	s.Range("dim_n", lit(1), add(ref("max_threads_dim_y"), lit(1)))
+
+	// blk_m(dim_m), blk_n(dim_n): the block's tile of C, multiples of the
+	// thread grid.
+	s.DomainIter("blk_m", rngStep(ref("dim_m"), add(ref("max_threads_dim_x"), lit(1)), ref("dim_m")))
+	s.DomainIter("blk_n", rngStep(ref("dim_n"), add(ref("max_threads_dim_y"), lit(1)), ref("dim_n")))
+
+	// blk_k: the stripe width.
+	s.Range("blk_k", lit(1), add(expr.MinOf(ref("max_threads_dim_x"), ref("max_threads_dim_y")), lit(1)))
+
+	// dim_vec(precision, arithmetic): the vector width of the data type.
+	// (The paper's listing swaps the roles of its `arithmetic` and
+	// `precision` parameters — the outer test compares arithmetic against
+	// "double" — but the intended dispatch is unambiguous: double/real may
+	// use double2 (1..2), double/complex has no wider type (1), single/
+	// real may use float4 (1 or 4), single/complex may use
+	// cuFloatComplex2 (1..2).)
+	s.DomainIter("dim_vec", space.NewCond(
+		eq(ref("precision"), str("double")),
+		space.NewCond(eq(ref("arithmetic"), str("real")),
+			rng(lit(1), lit(3)),
+			space.NewList(lit(1))),
+		space.NewCond(eq(ref("arithmetic"), str("real")),
+			rngStep(lit(1), lit(5), lit(3)),
+			rng(lit(1), lit(3))),
+	))
+
+	// vec_mul(dim_vec): whether the multiply phase also uses vector types.
+	s.DomainIter("vec_mul", space.NewCond(
+		eq(ref("dim_vec"), lit(1)),
+		space.NewList(lit(0)),
+		rng(lit(0), lit(2)),
+	))
+
+	// dim_m_a, dim_n_a (blk_m, blk_k): the thread grid reading A.
+	s.DomainIter("dim_m_a", space.NewCond(
+		eq(ref("trans_a"), lit(0)),
+		rng(lit(1), add(div(ref("blk_m"), ref("dim_vec")), lit(1))),
+		rng(lit(1), add(div(ref("blk_k"), ref("dim_vec")), lit(1))),
+	))
+	s.DomainIter("dim_n_a", space.NewCond(
+		eq(ref("trans_a"), lit(0)),
+		rng(lit(1), add(ref("blk_k"), lit(1))),
+		rng(lit(1), add(ref("blk_m"), lit(1))),
+	))
+
+	// dim_m_b, dim_n_b (blk_k, blk_n): the thread grid reading B.
+	s.DomainIter("dim_m_b", space.NewCond(
+		eq(ref("trans_b"), lit(0)),
+		rng(lit(1), add(div(ref("blk_k"), ref("dim_vec")), lit(1))),
+		rng(lit(1), add(div(ref("blk_n"), ref("dim_vec")), lit(1))),
+	))
+	s.DomainIter("dim_n_b", space.NewCond(
+		eq(ref("trans_b"), lit(0)),
+		rng(lit(1), add(ref("blk_n"), lit(1))),
+		rng(lit(1), add(ref("blk_k"), lit(1))),
+	))
+
+	// Hardware switches: texture reads, L1 preference, bank size.
+	s.Flag("tex_a")
+	s.Flag("tex_b")
+	s.Flag("shmem_l1")
+	s.Flag("shmem_banks")
+
+	// ------------------------------------------------------------------
+	// Figure 12: derived variables. The paper's in-place conditional
+	// doublings (`if precision == "double": x = x*2`) are expressed as
+	// multiplications by setting-dependent factors, which fold to
+	// constants at plan time.
+	// ------------------------------------------------------------------
+	precMul := expr.If(eq(ref("precision"), str("double")), lit(2), lit(1))
+	cplxMul := expr.If(eq(ref("arithmetic"), str("complex")), lit(2), lit(1))
+	cplx4Mul := expr.If(eq(ref("arithmetic"), str("complex")), lit(4), lit(1))
+
+	s.Derived("threads_per_block", mul(ref("dim_m"), ref("dim_n")))
+	s.Derived("thr_m", div(ref("blk_m"), ref("dim_m")))
+	s.Derived("thr_n", div(ref("blk_n"), ref("dim_n")))
+	s.Derived("regs_per_thread",
+		mul(mul(mul(ref("thr_m"), ref("thr_n")), precMul), cplxMul))
+	s.Derived("regs_per_block", mul(ref("regs_per_thread"), ref("threads_per_block")))
+	s.Derived("shmem_per_block",
+		mul(mul(mul(mul(ref("blk_k"), add(ref("blk_m"), ref("blk_n"))), ref("float_size")), precMul), cplxMul))
+	s.Derived("max_blocks_by_regs",
+		expr.MinOf(div(ref("max_registers_per_multi_processor"), ref("regs_per_block")),
+			ref("max_blocks_per_multi_processor")))
+	s.Derived("max_threads_by_regs", mul(ref("max_blocks_by_regs"), ref("threads_per_block")))
+	s.Derived("max_blocks_by_shmem",
+		expr.MinOf(div(ref("max_shmem_per_multi_processor"), ref("shmem_per_block")),
+			ref("max_blocks_per_multi_processor")))
+	s.Derived("max_threads_by_shmem", mul(ref("max_blocks_by_shmem"), ref("threads_per_block")))
+	s.Derived("loads_per_thread", div(mul(add(ref("thr_m"), ref("thr_n")), ref("blk_k")), ref("dim_vec")))
+	s.Derived("loads_per_block", mul(mul(ref("loads_per_thread"), ref("threads_per_block")), cplxMul))
+	s.Derived("fmas_per_thread", mul(mul(ref("thr_m"), ref("thr_n")), ref("blk_k")))
+	s.Derived("fmas_per_block", mul(mul(ref("fmas_per_thread"), ref("threads_per_block")), cplx4Mul))
+
+	// ------------------------------------------------------------------
+	// Figure 13: hard constraints (hardware limits).
+	// ------------------------------------------------------------------
+	s.Constrain("over_max_threads", space.Hard,
+		gt(ref("threads_per_block"), ref("max_threads_per_block"))).Doc =
+		"exceeds the maximum number of threads per block (exact limit)"
+	s.Constrain("over_max_regs_per_thread", space.Hard,
+		gt(ref("regs_per_thread"), ref("max_registers_per_thread"))).Doc =
+		"exceeds the per-thread register limit (theoretical demand)"
+	s.Constrain("over_max_regs_per_block", space.Hard,
+		gt(ref("regs_per_block"), ref("max_regs_per_block"))).Doc =
+		"exceeds the per-block register limit (theoretical demand)"
+	s.Constrain("over_max_shmem", space.Hard,
+		gt(ref("shmem_per_block"), ref("max_shared_mem_per_block"))).Doc =
+		"exceeds the shared memory size per block (exact limit)"
+
+	// ------------------------------------------------------------------
+	// Figure 14: soft constraints (correct but guaranteed slow).
+	// ------------------------------------------------------------------
+	s.Constrain("low_occupancy_regs", space.Soft,
+		lt(ref("max_threads_by_regs"), ref("min_threads_per_multi_processor"))).Doc =
+		"register pressure caps occupancy below the desired floor"
+	s.Constrain("low_occupancy_shmem", space.Soft,
+		lt(ref("max_threads_by_shmem"), ref("min_threads_per_multi_processor"))).Doc =
+		"shared-memory demand caps occupancy below the desired floor"
+	s.Constrain("low_fmas", space.Soft,
+		lt(div(ref("fmas_per_block"), ref("loads_per_block")), ref("min_fmas_per_load"))).Doc =
+		"too few FMA instructions per shared-memory load"
+	s.Constrain("partial_warps", space.Soft,
+		ne(mod(ref("threads_per_block"), ref("warp_size")), lit(0))).Doc =
+		"thread count not divisible by the warp size"
+
+	// ------------------------------------------------------------------
+	// Figure 15: correctness constraints (algorithmic assumptions).
+	// ------------------------------------------------------------------
+	s.Constrain("cant_reshape_a1", space.Correctness,
+		ne(mul(ref("dim_m_a"), ref("dim_n_a")), ref("threads_per_block"))).Doc =
+		"reading A requires a different thread count than computing C"
+	s.Constrain("cant_reshape_b1", space.Correctness,
+		ne(mul(ref("dim_m_b"), ref("dim_n_b")), ref("threads_per_block"))).Doc =
+		"reading B requires a different thread count than computing C"
+	s.Constrain("cant_reshape_a2", space.Correctness,
+		or(
+			and(eq(ref("trans_a"), lit(0)),
+				or(ne(mod(ref("blk_m"), mul(ref("dim_m_a"), ref("dim_vec"))), lit(0)),
+					ne(mod(ref("blk_k"), ref("dim_n_a")), lit(0)))),
+			and(ne(ref("trans_a"), lit(0)),
+				or(ne(mod(ref("blk_k"), mul(ref("dim_m_a"), ref("dim_vec"))), lit(0)),
+					ne(mod(ref("blk_m"), ref("dim_n_a")), lit(0)))),
+		)).Doc = "stripe of A not evenly divisible by the thread grid reading it"
+	s.Constrain("cant_reshape_b2", space.Correctness,
+		or(
+			and(eq(ref("trans_b"), lit(0)),
+				or(ne(mod(ref("blk_k"), mul(ref("dim_m_b"), ref("dim_vec"))), lit(0)),
+					ne(mod(ref("blk_n"), ref("dim_n_b")), lit(0)))),
+			and(ne(ref("trans_b"), lit(0)),
+				or(ne(mod(ref("blk_n"), mul(ref("dim_m_b"), ref("dim_vec"))), lit(0)),
+					ne(mod(ref("blk_k"), ref("dim_n_b")), lit(0)))),
+		)).Doc = "stripe of B not evenly divisible by the thread grid reading it"
+
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// The Figure 9 tables, duplicated here in int64 literal form so the space
+// definition is self-contained (internal/device exposes the same data for
+// host-side use; TestCapabilityTablesAgree pins them together).
+var (
+	maxBlocksTable = [4][10]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{8, 8, 8, 8, -1, -1, -1, -1, -1, -1},
+		{8, 8, 8, 8, 8, 8, 8, 8, 8, 8},
+		{16, -1, -1, -1, -1, 16, -1, -1, -1, -1},
+	}
+	maxWarpsTable = [4][10]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{24, 24, 32, 32, -1, -1, -1, -1, -1, -1},
+		{48, 48, 48, 48, 48, 48, 48, 48, 48, 48},
+		{64, -1, -1, -1, -1, 64, -1, -1, -1, -1},
+	}
+	maxRegsThreadTable = [4][10]int64{
+		{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+		{128, 128, 128, 128, -1, -1, -1, -1, -1, -1},
+		{63, 63, 63, 63, 63, 63, 63, 63, 63, 63},
+		{63, -1, -1, -1, -1, 255, -1, -1, -1, -1},
+	}
+)
+
+func toTable(t [4][10]int64) [][]int64 {
+	out := make([][]int64, len(t))
+	for i := range t {
+		row := make([]int64, len(t[i]))
+		copy(row, t[i][:])
+		out[i] = row
+	}
+	return out
+}
+
+// TupleIndex maps iterator names to their position in enumeration tuples
+// for a compiled GEMM program (stable across engines: the planner's
+// topological order equals the Figure 11 declaration order).
+var IterOrder = []string{
+	"dim_m", "dim_n", "blk_m", "blk_n", "blk_k", "dim_vec", "vec_mul",
+	"dim_m_a", "dim_n_a", "dim_m_b", "dim_n_b",
+	"tex_a", "tex_b", "shmem_l1", "shmem_banks",
+}

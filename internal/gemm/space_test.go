@@ -1,0 +1,431 @@
+package gemm
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// refTuple is one candidate kernel configuration in IterOrder.
+type refTuple = [15]int64
+
+// referenceEnumerate is an independent transcription of Figures 11-15:
+// plain nested Go loops with hand-placed early exits (a human performance
+// engineer's version of constraint hoisting — each check sits right after
+// the innermost loop it reads, exactly as one would hand-write the C). No
+// DAG, no folding, no shared code with the pipeline; it is the oracle the
+// declarative system is tested against.
+func referenceEnumerate(cfg Config) []refTuple {
+	dev := cfg.Device
+	double := cfg.Precision == "double"
+	cplx := cfg.Arithmetic == "complex"
+	maxBlocksPerMP := device.CapLookup(device.MaxBlocksPerMultiProcessorTable, dev.CudaMajor, dev.CudaMinor)
+	maxRegsPerThread := device.CapLookup(device.MaxRegistersPerThreadTable, dev.CudaMajor, dev.CudaMinor)
+
+	var dimVecs []int64
+	switch {
+	case double && !cplx:
+		dimVecs = []int64{1, 2}
+	case double && cplx:
+		dimVecs = []int64{1}
+	case !double && !cplx:
+		dimVecs = []int64{1, 4}
+	default:
+		dimVecs = []int64{1, 2}
+	}
+
+	fdiv := func(a, b int64) int64 {
+		if b == 0 {
+			return 0
+		}
+		q := a / b
+		if a%b != 0 && (a < 0) != (b < 0) {
+			q--
+		}
+		return q
+	}
+
+	var out []refTuple
+	maxK := dev.MaxThreadsDimX
+	if dev.MaxThreadsDimY < maxK {
+		maxK = dev.MaxThreadsDimY
+	}
+	for dimM := int64(1); dimM <= dev.MaxThreadsDimX; dimM++ {
+		for dimN := int64(1); dimN <= dev.MaxThreadsDimY; dimN++ {
+			threads := dimM * dimN
+			if threads > dev.MaxThreadsPerBlock { // over_max_threads
+				continue
+			}
+			if threads%dev.WarpSize != 0 { // partial_warps
+				continue
+			}
+			for blkM := dimM; blkM <= dev.MaxThreadsDimX; blkM += dimM {
+				for blkN := dimN; blkN <= dev.MaxThreadsDimY; blkN += dimN {
+					thrM := fdiv(blkM, dimM)
+					thrN := fdiv(blkN, dimN)
+					regsPerThread := thrM * thrN
+					if double {
+						regsPerThread *= 2
+					}
+					if cplx {
+						regsPerThread *= 2
+					}
+					if regsPerThread > maxRegsPerThread { // over_max_regs_per_thread
+						continue
+					}
+					regsPerBlock := regsPerThread * threads
+					if regsPerBlock > dev.MaxRegsPerBlock { // over_max_regs_per_block
+						continue
+					}
+					maxBlocksByRegs := fdiv(dev.MaxRegistersPerMultiProcessor, regsPerBlock)
+					if maxBlocksByRegs > maxBlocksPerMP {
+						maxBlocksByRegs = maxBlocksPerMP
+					}
+					if maxBlocksByRegs*threads < cfg.MinThreadsPerMultiprocessor { // low_occupancy_regs
+						continue
+					}
+					for blkK := int64(1); blkK <= maxK; blkK++ {
+						shmem := blkK * (blkM + blkN) * dev.FloatSize
+						if double {
+							shmem *= 2
+						}
+						if cplx {
+							shmem *= 2
+						}
+						if shmem > dev.MaxSharedMemPerBlock { // over_max_shmem
+							continue
+						}
+						maxBlocksByShmem := fdiv(dev.MaxShmemPerMultiProcessor, shmem)
+						if maxBlocksByShmem > maxBlocksPerMP {
+							maxBlocksByShmem = maxBlocksPerMP
+						}
+						if maxBlocksByShmem*threads < cfg.MinThreadsPerMultiprocessor { // low_occupancy_shmem
+							continue
+						}
+						for _, dimVec := range dimVecs {
+							loadsPerBlock := fdiv((thrM+thrN)*blkK, dimVec) * threads
+							if cplx {
+								loadsPerBlock *= 2
+							}
+							fmasPerBlock := thrM * thrN * blkK * threads
+							if cplx {
+								fmasPerBlock *= 4
+							}
+							if fdiv(fmasPerBlock, loadsPerBlock) < cfg.MinFMAsPerLoad { // low_fmas
+								continue
+							}
+							vecMuls := []int64{0}
+							if dimVec != 1 {
+								vecMuls = []int64{0, 1}
+							}
+							for _, vecMul := range vecMuls {
+								maxMA := fdiv(blkM, dimVec)
+								maxNA := blkK
+								if cfg.TransA != 0 {
+									maxMA = fdiv(blkK, dimVec)
+									maxNA = blkM
+								}
+								for dimMA := int64(1); dimMA <= maxMA; dimMA++ {
+									for dimNA := int64(1); dimNA <= maxNA; dimNA++ {
+										if dimMA*dimNA != threads { // cant_reshape_a1
+											continue
+										}
+										// cant_reshape_a2
+										if cfg.TransA == 0 {
+											if blkM%(dimMA*dimVec) != 0 || blkK%dimNA != 0 {
+												continue
+											}
+										} else {
+											if blkK%(dimMA*dimVec) != 0 || blkM%dimNA != 0 {
+												continue
+											}
+										}
+										maxMB := fdiv(blkK, dimVec)
+										maxNB := blkN
+										if cfg.TransB != 0 {
+											maxMB = fdiv(blkN, dimVec)
+											maxNB = blkK
+										}
+										for dimMB := int64(1); dimMB <= maxMB; dimMB++ {
+											for dimNB := int64(1); dimNB <= maxNB; dimNB++ {
+												if dimMB*dimNB != threads { // cant_reshape_b1
+													continue
+												}
+												// cant_reshape_b2
+												if cfg.TransB == 0 {
+													if blkK%(dimMB*dimVec) != 0 || blkN%dimNB != 0 {
+														continue
+													}
+												} else {
+													if blkN%(dimMB*dimVec) != 0 || blkK%dimNB != 0 {
+														continue
+													}
+												}
+												for texA := int64(0); texA < 2; texA++ {
+													for texB := int64(0); texB < 2; texB++ {
+														for l1 := int64(0); l1 < 2; l1++ {
+															for banks := int64(0); banks < 2; banks++ {
+																out = append(out, refTuple{
+																	dimM, dimN, blkM, blkN, blkK, dimVec, vecMul,
+																	dimMA, dimNA, dimMB, dimNB, texA, texB, l1, banks,
+																})
+															}
+														}
+													}
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// tinyConfig returns a configuration whose space is small enough to
+// brute-force, but which still passes nonzero survivors through every
+// constraint (occupancy thresholds lowered to match the shrunken blocks).
+func tinyConfig(t *testing.T, kernel string, dim int64) Config {
+	t.Helper()
+	cfg, err := ByName(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := *device.TeslaK40c()
+	dev.MaxThreadsDimX = dim
+	dev.MaxThreadsDimY = dim
+	cfg.Device = &dev
+	cfg.MinThreadsPerMultiprocessor = 64
+	return cfg
+}
+
+func enumeratePipeline(t *testing.T, cfg Config, opts plan.Options, e func(p *plan.Program) engine.Engine) []refTuple {
+	t.Helper()
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.IterNames(); !reflect.DeepEqual(got, IterOrder) {
+		t.Fatalf("loop order = %v, want %v", got, IterOrder)
+	}
+	var out []refTuple
+	_, err = e(prog).Run(engine.Options{OnTuple: func(tu []int64) bool {
+		var r refTuple
+		copy(r[:], tu)
+		out = append(out, r)
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sortTuples(ts []refTuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestGEMMAgainstReferenceOracle(t *testing.T) {
+	// All 16 sessions of §IX.C: 4 precision/arithmetic cases x 4
+	// transpose cases, each checked tuple-for-tuple against the oracle.
+	var kernels []string
+	for _, base := range []string{"sgemm", "dgemm", "cgemm", "zgemm"} {
+		for _, tc := range []string{"nn", "nt", "tn", "tt"} {
+			kernels = append(kernels, base+"_"+tc)
+		}
+	}
+	for _, kernel := range kernels {
+		t.Run(kernel, func(t *testing.T) {
+			cfg := tinyConfig(t, kernel, 24)
+			want := referenceEnumerate(cfg)
+			sortTuples(want)
+			if len(want) == 0 {
+				t.Fatal("reference oracle found no survivors; tiny config too small")
+			}
+			got := enumeratePipeline(t, cfg, plan.Options{}, func(p *plan.Program) engine.Engine {
+				c, err := engine.NewCompiled(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			})
+			sortTuples(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pipeline: %d survivors, oracle: %d", len(got), len(want))
+			}
+			t.Logf("%s: %d survivors agree with oracle", kernel, len(want))
+		})
+	}
+}
+
+func TestGEMMCrossEngine(t *testing.T) {
+	cfg := tinyConfig(t, "dgemm_nn", 32)
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := engine.CollectTuples(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []engine.Engine{engine.NewInterp(prog), engine.NewVM(prog)} {
+		got, st, err := engine.CollectTuples(e, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: %d tuples, want %d", e.Name(), len(got), len(want))
+		}
+		if !reflect.DeepEqual(st.Kills, wantStats.Kills) {
+			t.Errorf("%s kills = %v want %v", e.Name(), st.Kills, wantStats.Kills)
+		}
+	}
+	if wantStats.PruneRate() < 0.9 {
+		t.Errorf("prune rate %.4f; the paper reports constraint pruning removing "+
+			"the overwhelming majority of candidates", wantStats.PruneRate())
+	}
+	t.Logf("survivors=%d visits=%d pruneRate=%.4f%%",
+		wantStats.Survivors, wantStats.TotalVisits(), 100*wantStats.PruneRate())
+}
+
+func TestGEMMParallelMatchesSequential(t *testing.T) {
+	cfg := tinyConfig(t, "dgemm_nn", 32)
+	s, err := Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := comp.Run(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := comp.Run(engine.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Survivors != par.Survivors {
+		t.Errorf("parallel survivors %d != sequential %d", par.Survivors, seq.Survivors)
+	}
+	if !reflect.DeepEqual(seq.Kills, par.Kills) {
+		t.Errorf("parallel kills %v != sequential %v", par.Kills, seq.Kills)
+	}
+}
+
+func TestConstraintCount(t *testing.T) {
+	// §IX defines 4 hard + 4 soft + 4 correctness constraints (the
+	// abstract's "10 complex pruning constraints" undercounts its own
+	// listing; Figures 13-15 contain 12).
+	s, err := Space(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Constraints()); n != 12 {
+		t.Errorf("constraint count = %d, want 12", n)
+	}
+	if n := len(s.Iterators()); n != 15 {
+		t.Errorf("iterator count = %d, want 15 (the paper's 15 dimensions)", n)
+	}
+}
+
+func TestCapabilityTablesAgree(t *testing.T) {
+	// The in-space Figure 9 tables must match internal/device's copies.
+	pairs := []struct {
+		name string
+		a    [4][10]int64
+		b    [][]int64
+	}{
+		{"blocks", maxBlocksTable, device.MaxBlocksPerMultiProcessorTable},
+		{"warps", maxWarpsTable, device.MaxWarpsPerMultiProcessorTable},
+		{"regs", maxRegsThreadTable, device.MaxRegistersPerThreadTable},
+	}
+	for _, p := range pairs {
+		if !reflect.DeepEqual(toTable(p.a), p.b) {
+			t.Errorf("table %s: gemm and device copies differ", p.name)
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, base := range []string{"sgemm", "dgemm", "cgemm", "zgemm"} {
+		for _, tc := range []string{"nn", "nt", "tn", "tt"} {
+			name := fmt.Sprintf("%s_%s", base, tc)
+			cfg, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Name() != name {
+				t.Errorf("ByName(%q).Name() = %q", name, cfg.Name())
+			}
+		}
+	}
+	if _, err := ByName("hgemm"); err == nil {
+		t.Error("expected error for unknown kernel")
+	}
+	if _, err := ByName("dgemm_xy"); err == nil {
+		t.Error("expected error for unknown transpose case")
+	}
+}
+
+func TestFoldingSpecializesSettings(t *testing.T) {
+	s, err := Space(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Figure 9 lookup and every precision/arithmetic conditional
+	// must be folded: the K40c values are pinned by the paper.
+	want := map[string]int64{
+		"max_blocks_per_multi_processor": 16,
+		"max_warps_per_multi_processor":  64,
+		"max_registers_per_thread":       255,
+	}
+	for name, v := range want {
+		got, ok := prog.Folded[name]
+		if !ok {
+			t.Errorf("%s not folded", name)
+			continue
+		}
+		if got.I != v {
+			t.Errorf("%s = %d, want %d", name, got.I, v)
+		}
+	}
+}

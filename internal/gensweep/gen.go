@@ -1,0 +1,90 @@
+// Package gensweep holds ahead-of-time generated enumeration code: the
+// output of the BEAST translator (internal/codegen) committed into the
+// repository and compiled by the ordinary Go build. This is the closest
+// analogue of how the paper actually uses its system — the generated
+// standard C is compiled by an optimizing compiler before the sweep runs —
+// and it is the "generated code" backend of the Figure 19 benchmarks,
+// with no interpretation or closure indirection left.
+//
+// The committed *_gen.go files are produced by `go run ./cmd/spacegen
+// -write-gensweep`; TestGeneratedFilesInSync regenerates them in memory
+// and fails if the committed copies have drifted from the generator.
+package gensweep
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/device"
+	"repro/internal/gemm"
+	"repro/internal/loopbench"
+	"repro/internal/plan"
+)
+
+// GEMMScale is the device-shape divisor of the committed DGEMM sweep
+// (1024/32 = 32-wide thread-dim limits), matching the engine tests.
+const GEMMScale = 32
+
+// GEMMMinThreads is the occupancy floor of the committed DGEMM sweep.
+const GEMMMinThreads = 64
+
+// LoopTotal is the innermost iteration count of the committed loop nests.
+const LoopTotal = 10_000_000
+
+// GEMMConfig returns the configuration the committed DGEMM sweep was
+// generated from.
+func GEMMConfig() gemm.Config {
+	cfg := gemm.Default()
+	cfg.Device = device.Scaled(device.TeslaK40c(), GEMMScale)
+	cfg.MinThreadsPerMultiprocessor = GEMMMinThreads
+	return cfg
+}
+
+// Sources regenerates the canonical files of this package (filename ->
+// content). cmd/spacegen writes them to disk; the sync test compares them
+// against the committed copies.
+func Sources() (map[string]string, error) {
+	out := make(map[string]string)
+
+	// DGEMM sweep (carries the shared helper declarations).
+	s, err := gemm.Space(GEMMConfig())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	src, err := codegen.Go(prog, codegen.GoOptions{
+		Package:   "gensweep",
+		FuncName:  "DGEMM32",
+		StatsType: "DGEMM32Stats",
+		Comment:   fmt.Sprintf("DGEMM nn on Tesla K40c at 1/%d thread-dim scale, min occupancy %d threads.", GEMMScale, GEMMMinThreads),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out["dgemm32_gen.go"] = src
+
+	// Figure 19 loop nests, depths 1-4.
+	for depth := 1; depth <= loopbench.MaxDepth; depth++ {
+		ls := loopbench.Space(depth, LoopTotal)
+		lprog, err := plan.Compile(ls, plan.Options{})
+		if err != nil {
+			return nil, err
+		}
+		src, err := codegen.Go(lprog, codegen.GoOptions{
+			Package:    "gensweep",
+			FuncName:   fmt.Sprintf("Loops%d", depth),
+			StatsType:  fmt.Sprintf("Loops%dStats", depth),
+			OmitShared: true,
+			Comment: fmt.Sprintf("Figure 19 loop-nest workload: depth %d, %d total iterations (side %d).",
+				depth, LoopTotal, loopbench.SideLen(depth, LoopTotal)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("loops%d_gen.go", depth)] = src
+	}
+	return out, nil
+}

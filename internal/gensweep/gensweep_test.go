@@ -1,0 +1,101 @@
+package gensweep
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/loopbench"
+	"repro/internal/plan"
+)
+
+// TestGeneratedFilesInSync regenerates the committed sources and fails if
+// they drifted from the generator (the repository's `go generate`
+// discipline, enforced by the test suite).
+func TestGeneratedFilesInSync(t *testing.T) {
+	files, err := Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./cmd/spacegen -write-gensweep`)", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale; run `go run ./cmd/spacegen -write-gensweep`", name)
+		}
+	}
+}
+
+// TestDGEMM32MatchesEngine runs the committed generated sweep and compares
+// every counter against the engine on the same program.
+func TestDGEMM32MatchesEngine(t *testing.T) {
+	gen := DGEMM32(nil)
+
+	s, err := gemm.Space(GEMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := comp.Run(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Survivors != want.Survivors {
+		t.Errorf("generated survivors = %d, engine = %d", gen.Survivors, want.Survivors)
+	}
+	for i := range want.LoopVisits {
+		if gen.Visits[i] != want.LoopVisits[i] {
+			t.Errorf("visits[%d] = %d, engine = %d", i, gen.Visits[i], want.LoopVisits[i])
+		}
+	}
+	for i := range want.Kills {
+		if gen.Kills[i] != want.Kills[i] || gen.Checks[i] != want.Checks[i] {
+			t.Errorf("constraint %d: generated %d/%d, engine %d/%d",
+				i, gen.Kills[i], gen.Checks[i], want.Kills[i], want.Checks[i])
+		}
+	}
+}
+
+func TestDGEMM32EarlyStop(t *testing.T) {
+	n := 0
+	st := DGEMM32(func(vals []int64) bool {
+		if len(vals) != 15 {
+			t.Fatalf("tuple width %d", len(vals))
+		}
+		n++
+		return n < 10
+	})
+	if st.Survivors != 10 {
+		t.Errorf("early stop after %d survivors", st.Survivors)
+	}
+}
+
+// TestLoopsMatchWorkload verifies each committed nest executes exactly the
+// loopbench iteration count.
+func TestLoopsMatchWorkload(t *testing.T) {
+	s1, s2, s3, s4 := Loops1(nil), Loops2(nil), Loops3(nil), Loops4(nil)
+	counts := []int64{
+		sumVisitsLast(s1.Visits[:]),
+		sumVisitsLast(s2.Visits[:]),
+		sumVisitsLast(s3.Visits[:]),
+		sumVisitsLast(s4.Visits[:]),
+	}
+	for depth := 1; depth <= 4; depth++ {
+		want := loopbench.Iterations(depth, LoopTotal)
+		if counts[depth-1] != want {
+			t.Errorf("depth %d: innermost = %d, want %d", depth, counts[depth-1], want)
+		}
+	}
+}
+
+func sumVisitsLast(v []int64) int64 { return v[len(v)-1] }

@@ -1,0 +1,64 @@
+package kernelsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestPowerModelBasics(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(4096)
+	good := EstimateGEMMPower(dev, goodKernel(), p)
+	if good.Watts <= good.IdleWatts {
+		t.Errorf("running kernel draws %0.f W, not above idle %0.f W", good.Watts, good.IdleWatts)
+	}
+	if good.Watts > 235*1.01 {
+		t.Errorf("power %0.f W exceeds the 235 W board limit", good.Watts)
+	}
+	if good.GFLOPSPerWatt <= 0 || good.EnergyJoulesPerGFLOP <= 0 {
+		t.Error("nonpositive efficiency")
+	}
+	if got := 1 / good.EnergyJoulesPerGFLOP; got != good.GFLOPSPerWatt {
+		t.Error("efficiency metrics inconsistent")
+	}
+	// Dead kernels idle.
+	idle := EstimateGEMMPower(dev, GEMMKernel{}, p)
+	if idle.Watts != idle.IdleWatts || idle.GFLOPSPerWatt != 0 {
+		t.Errorf("dead kernel power = %+v", idle)
+	}
+	// Determinism.
+	if EstimateGEMMPower(dev, goodKernel(), p) != good {
+		t.Error("power model not deterministic")
+	}
+}
+
+func TestPowerScalesWithWork(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(4096)
+	fast := goodKernel()
+	slow := fast
+	slow.BlkM, slow.BlkN = 16, 16 // 1x1 register tile: far less throughput
+	slow.DimMA, slow.DimNA = 8, 32
+	slow.DimMB, slow.DimNB = 8, 32
+	pf := EstimateGEMMPower(dev, fast, p)
+	ps := EstimateGEMMPower(dev, slow, p)
+	if pf.Watts <= ps.Watts {
+		t.Errorf("faster kernel (%0.f W) should draw more than slower (%0.f W)", pf.Watts, ps.Watts)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	dev := device.TeslaK40c()
+	out := Explain(dev, goodKernel(), dgemmProblem(4096))
+	for _, want := range []string{"GFLOP/s", "occupancy", "GFLOP/W", "16x16 thread grid", "64x64x16 tile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate kernels must not panic.
+	if out := Explain(dev, GEMMKernel{}, dgemmProblem(64)); !strings.Contains(out, "0.0 GFLOP/s") {
+		t.Errorf("degenerate Explain = %s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package kernelsim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/gemm"
+)
+
+// goodKernel is a classic hand-tuned DGEMM configuration for Kepler:
+// 16x16 threads, 64x64x16 tiles, vectorized double2 loads.
+func goodKernel() GEMMKernel {
+	return GEMMKernel{
+		DimM: 16, DimN: 16, BlkM: 64, BlkN: 64, BlkK: 16,
+		DimVec: 2, VecMul: 1,
+		DimMA: 32, DimNA: 8, DimMB: 8, DimNB: 32,
+		TexA: 1, TexB: 1, ShmemL1: 1, ShmemBanks: 1,
+	}
+}
+
+func dgemmProblem(n int64) GEMMProblem {
+	return GEMMProblem{N: n, Precision: "double", Arithmetic: "real"}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	k := goodKernel()
+	k2, err := FromTuple(k.Tuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k, k2) {
+		t.Errorf("round trip: %+v != %+v", k2, k)
+	}
+	if _, err := FromTuple([]int64{1, 2, 3}); err == nil {
+		t.Error("expected length error")
+	}
+	if len(gemm.IterOrder) != 15 {
+		t.Error("IterOrder drifted")
+	}
+}
+
+func TestGoodKernelIsGood(t *testing.T) {
+	dev := device.TeslaK40c()
+	e := EstimateGEMM(dev, goodKernel(), dgemmProblem(4096))
+	if e.GFLOPS <= 0 {
+		t.Fatalf("good kernel scored %v", e.GFLOPS)
+	}
+	if e.PeakFraction < 0.4 || e.PeakFraction > 1.0 {
+		t.Errorf("peak fraction = %.3f, want a plausible 0.4..1.0", e.PeakFraction)
+	}
+	if e.Occupancy.BlocksPerSM == 0 {
+		t.Error("good kernel got zero occupancy")
+	}
+}
+
+func TestDegenerateKernels(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(1024)
+	bad := []GEMMKernel{
+		{}, // all zero
+		{DimM: 64, DimN: 64, BlkM: 64, BlkN: 64, BlkK: 1, DimVec: 1}, // 4096 threads: unlaunchable
+	}
+	for i, k := range bad {
+		e := EstimateGEMM(dev, k, p)
+		if e.GFLOPS != 0 || e.Bound != "launch" {
+			t.Errorf("bad kernel %d scored %v (%s)", i, e.GFLOPS, e.Bound)
+		}
+	}
+}
+
+func TestModelIsDeterministic(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(2048)
+	k := goodKernel()
+	a := EstimateGEMM(dev, k, p)
+	b := EstimateGEMM(dev, k, p)
+	if a != b {
+		t.Error("model not deterministic")
+	}
+	p.Noise = 0.05
+	c := EstimateGEMM(dev, k, p)
+	d := EstimateGEMM(dev, k, p)
+	if c != d {
+		t.Error("noisy model not deterministic for fixed config")
+	}
+	if c.GFLOPS == a.GFLOPS {
+		t.Error("noise had no effect")
+	}
+	if rel := c.GFLOPS/a.GFLOPS - 1; rel > 0.05 || rel < -0.05 {
+		t.Errorf("noise exceeded bound: %f", rel)
+	}
+}
+
+func TestModelStructuralPreferences(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(4096)
+	base := goodKernel()
+
+	// A tiny 1x1 register tile (dim == blk) must lose badly to a real
+	// register-blocked kernel: no data reuse.
+	tiny := base
+	tiny.BlkM, tiny.BlkN = 16, 16 // thr = 1x1
+	tiny.DimMA, tiny.DimNA = 8, 32
+	tiny.DimMB, tiny.DimNB = 8, 32
+	if EstimateGEMM(dev, tiny, p).GFLOPS >= EstimateGEMM(dev, base, p).GFLOPS {
+		t.Error("1x1 register tile should not beat 4x4 tile")
+	}
+
+	// Partial tiles: a block size that does not divide the problem wastes
+	// the overhang.
+	odd := base
+	oddP := dgemmProblem(4000) // 4000 % 64 != 0
+	alignedP := dgemmProblem(4096)
+	if EstimateGEMM(dev, odd, oddP).GFLOPS >= EstimateGEMM(dev, odd, alignedP).GFLOPS {
+		t.Error("partial tiles should cost performance")
+	}
+
+	// 8-byte shared banks should help double precision.
+	banks4 := base
+	banks4.ShmemBanks = 0
+	sp := dgemmProblem(4096)
+	if EstimateGEMM(dev, base, sp).GFLOPS <= EstimateGEMM(dev, banks4, sp).GFLOPS {
+		t.Error("8-byte banks should help DGEMM")
+	}
+
+	// Single precision runs much faster than double on a 1:3 device.
+	sgl := GEMMProblem{N: 4096, Precision: "single", Arithmetic: "real"}
+	kS := base
+	kS.DimVec = 4
+	eS := EstimateGEMM(dev, kS, sgl)
+	eD := EstimateGEMM(dev, base, p)
+	if eS.GFLOPS <= eD.GFLOPS {
+		t.Errorf("SGEMM (%0.f) should outrun DGEMM (%.0f)", eS.GFLOPS, eD.GFLOPS)
+	}
+}
+
+// Estimates never exceed the precision peak and never go negative,
+// whatever the configuration.
+func TestModelBounded(t *testing.T) {
+	dev := device.TeslaK40c()
+	p := dgemmProblem(2048)
+	peak := PeakGFLOPS(dev, p)
+	f := func(dimM, dimN, blkMul, blkNul, blkK, vec uint8, flags uint8) bool {
+		k := GEMMKernel{
+			DimM: int64(dimM%32) + 1, DimN: int64(dimN%32) + 1,
+			BlkK:   int64(blkK%64) + 1,
+			DimVec: []int64{1, 2, 4}[vec%3],
+			VecMul: int64(flags) & 1,
+			TexA:   int64(flags>>1) & 1, TexB: int64(flags>>2) & 1,
+			ShmemL1: int64(flags>>3) & 1, ShmemBanks: int64(flags>>4) & 1,
+		}
+		k.BlkM = k.DimM * (int64(blkMul%8) + 1)
+		k.BlkN = k.DimN * (int64(blkNul%8) + 1)
+		k.DimMA, k.DimNA = k.DimM, k.DimN
+		k.DimMB, k.DimNB = k.DimM, k.DimN
+		e := EstimateGEMM(dev, k, p)
+		return e.GFLOPS >= 0 && e.GFLOPS <= peak*1.0001 &&
+			e.PeakFraction >= 0 && e.PeakFraction <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakGFLOPS(t *testing.T) {
+	dev := device.TeslaK40c()
+	dp := PeakGFLOPS(dev, dgemmProblem(1024))
+	sp := PeakGFLOPS(dev, GEMMProblem{N: 1024, Precision: "single", Arithmetic: "real"})
+	if sp/dp != 3 {
+		t.Errorf("SP/DP peak ratio = %f, want 3 (GK110B)", sp/dp)
+	}
+	// K40c DP peak ~1.43 TFLOP/s.
+	if dp < 1350 || dp > 1500 {
+		t.Errorf("DP peak = %.0f, want ~1430", dp)
+	}
+}
+
+func TestNoiseIsHashStable(t *testing.T) {
+	k := goodKernel()
+	if noiseFor(k) != noiseFor(k) {
+		t.Error("noise not stable")
+	}
+	k2 := k
+	k2.TexA ^= 1
+	if noiseFor(k) == noiseFor(k2) {
+		t.Error("noise insensitive to config change")
+	}
+	if n := noiseFor(k); n < -1 || n >= 1 {
+		t.Errorf("noise out of range: %f", n)
+	}
+}

@@ -1,0 +1,133 @@
+// Package loopbench defines the synthetic loop-nest workload of the
+// paper's performance comparison (§XI, Figures 17–19): a fixed total
+// iteration count executed as a nest of depth 1–4, each loop of length
+// ceil(total^(1/depth)), with an innermost body that performs integer
+// arithmetic on local variables only — "there are no memory accesses
+// through mutable containers".
+//
+// The workload is expressed once, as a search space with no constraints
+// and a body of derived-variable arithmetic, and then run through every
+// backend and loop protocol:
+//
+//	Figure 17 (Python)     -> engine.Interp  x {while, range, xrange}
+//	Figure 18 (Lua)        -> engine.VM      x {while, repeat, for}
+//	Figure 19 (C/Java/...) -> engine.Compiled, generated Go, hand-written Go
+//
+// The quantity of merit is iterations per second (innermost executions).
+package loopbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// MaxDepth is the deepest nest the paper measures.
+const MaxDepth = 4
+
+// SideLen returns the per-loop trip count for a nest of the given depth
+// totalling approximately total innermost iterations: ceil(total^(1/depth)),
+// as in §XI.B.
+func SideLen(depth int, total int64) int64 {
+	if depth < 1 {
+		panic("loopbench: depth < 1")
+	}
+	// Smallest side with side^depth >= total; math.Pow only seeds the
+	// search, integer arithmetic decides (float roundoff must not shift
+	// an exact root like 1e8^(1/4) = 100).
+	side := int64(math.Pow(float64(total), 1/float64(depth))) - 2
+	if side < 1 {
+		side = 1
+	}
+	for pow(side, depth) < total {
+		side++
+	}
+	return side
+}
+
+func pow(b int64, e int) int64 {
+	out := int64(1)
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// Iterations returns the exact innermost iteration count of the workload
+// (side^depth — slightly above the requested total, as in the paper's
+// ceiling-based splits).
+func Iterations(depth int, total int64) int64 {
+	return pow(SideLen(depth, total), depth)
+}
+
+// Space builds the workload: depth nested loops of length SideLen each and
+// an arithmetic body over the loop variables (a Horner chain plus modulo,
+// kept in one derived variable so every backend executes the identical
+// expression tree).
+func Space(depth int, total int64) *space.Space {
+	side := SideLen(depth, total)
+	s := space.New()
+	s.IntSetting("side", side)
+	for d := 0; d < depth; d++ {
+		s.Range(fmt.Sprintf("i%d", d), expr.IntLit(0), expr.NewRef("side"))
+	}
+	// acc = ((((i0*3+7)+i1)*3+7)+i2)... % 1009
+	body := expr.Expr(expr.NewRef("i0"))
+	for d := 1; d < depth; d++ {
+		body = expr.Add(expr.Add(expr.Mul(body, expr.IntLit(3)), expr.IntLit(7)), expr.NewRef(fmt.Sprintf("i%d", d)))
+	}
+	body = expr.Mod(body, expr.IntLit(1009))
+	s.Derived("acc", body)
+	return s
+}
+
+// HandNest runs the identical workload as straight-line Go — the ceiling
+// any generated backend is measured against (the "Fortran" end of Figure
+// 19). It returns the innermost iteration count and a checksum that keeps
+// the compiler from deleting the body.
+func HandNest(depth int, total int64) (iters, checksum int64) {
+	side := SideLen(depth, total)
+	switch depth {
+	case 1:
+		for i0 := int64(0); i0 < side; i0++ {
+			acc := i0 % 1009
+			checksum += acc
+			iters++
+		}
+	case 2:
+		for i0 := int64(0); i0 < side; i0++ {
+			for i1 := int64(0); i1 < side; i1++ {
+				acc := (i0*3 + 7 + i1) % 1009
+				checksum += acc
+				iters++
+			}
+		}
+	case 3:
+		for i0 := int64(0); i0 < side; i0++ {
+			for i1 := int64(0); i1 < side; i1++ {
+				for i2 := int64(0); i2 < side; i2++ {
+					acc := ((i0*3+7+i1)*3 + 7 + i2) % 1009
+					checksum += acc
+					iters++
+				}
+			}
+		}
+	case 4:
+		for i0 := int64(0); i0 < side; i0++ {
+			for i1 := int64(0); i1 < side; i1++ {
+				for i2 := int64(0); i2 < side; i2++ {
+					for i3 := int64(0); i3 < side; i3++ {
+						acc := (((i0*3+7+i1)*3+7+i2)*3 + 7 + i3) % 1009
+						checksum += acc
+						iters++
+					}
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("loopbench: depth %d not supported", depth))
+	}
+	return iters, checksum
+}

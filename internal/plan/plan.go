@@ -1,0 +1,557 @@
+// Package plan compiles a declarative space.Space into an executable loop
+// nest: the Program. It performs the analyses of §X of the paper —
+// dependency-DAG construction, level sets, loop ordering — plus plan-time
+// specialization (settings and setting-only derived variables fold to
+// constants, as the paper's translator does when it burns precision and
+// transposition into the generated C) and constraint hoisting: every
+// constraint and derived variable is attached to the outermost loop at which
+// all of its dependencies are bound, so failing tuples are cut before inner
+// loops open. Hoisting is the mechanism behind the paper's aggressive
+// pruning speed; Options.DisableHoisting exists to measure exactly that
+// (the ablation benchmark).
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// StepKind discriminates the operations executed inside a loop body.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// AssignStep computes a derived variable into its slot.
+	AssignStep StepKind = iota
+	// CheckStep evaluates a constraint; if it rejects, the current loop
+	// iteration advances (the tuple is pruned).
+	CheckStep
+)
+
+// Step is one operation in a loop body.
+type Step struct {
+	Kind StepKind
+
+	// Name is the derived variable or constraint name.
+	Name string
+
+	// Slot is the target slot of an AssignStep.
+	Slot int
+
+	// Expr is the bound, folded expression (AssignStep value or CheckStep
+	// rejection predicate for expression constraints).
+	Expr expr.Expr
+
+	// Constraint is the source constraint of a CheckStep.
+	Constraint *space.Constraint
+
+	// ArgSlots holds the environment slots of a deferred constraint's
+	// declared dependencies.
+	ArgSlots []int
+
+	// StatsID indexes the per-constraint counters of engine statistics;
+	// -1 for AssignStep.
+	StatsID int
+}
+
+// Loop is one level of the generated nest.
+type Loop struct {
+	// Iter is the source iterator.
+	Iter *space.Iterator
+
+	// Domain is the bound, folded domain of an expression iterator; nil
+	// for deferred and closure iterators.
+	Domain space.DomainExpr
+
+	// ArgSlots holds the environment slots of a deferred or closure
+	// iterator's declared dependencies.
+	ArgSlots []int
+
+	// Slot is the environment slot the loop variable binds.
+	Slot int
+
+	// Steps runs after each binding of the loop variable, before the next
+	// inner loop opens. Order is dependency-respecting.
+	Steps []Step
+
+	// Level is the DAG level set of the iterator (§X.B). Loops sharing a
+	// level may be interchanged without changing the survivor set.
+	Level int
+}
+
+// SettingInit prefills an environment slot with a setting's value.
+type SettingInit struct {
+	Name string
+	Slot int
+	V    expr.Value
+}
+
+// Program is an executable loop nest. All engines (interpreter, VM, closure
+// compiler) and both code generators consume this one structure.
+type Program struct {
+	Source *space.Space
+
+	// Scope maps every name that can appear in a bound expression — the
+	// settings, iterators, and derived variables — to an environment slot.
+	Scope *expr.Scope
+
+	// Settings lists the slots to prefill before enumeration.
+	Settings []SettingInit
+
+	// Prelude runs once before the outermost loop: derived variables and
+	// constraints that depend only on settings. (A rejecting prelude
+	// constraint empties the whole space.)
+	Prelude []Step
+
+	// Loops is the ordered nest, outermost first.
+	Loops []*Loop
+
+	// Constraints lists all constraints in StatsID order.
+	Constraints []*space.Constraint
+
+	// Graph is the dependency DAG over iterators, derived variables, and
+	// constraints (settings folded away), as in the paper's Figure 16.
+	Graph *dag.Graph
+
+	// Folded maps names that were constant-folded at plan time (settings
+	// and setting-only derived variables) to their values.
+	Folded map[string]expr.Value
+}
+
+// Options control plan compilation.
+type Options struct {
+	// Order, if non-nil, fixes the loop order of the named iterators. It
+	// must list every iterator exactly once and respect the dependency
+	// DAG; Compile rejects invalid orders. Use it for loop interchange
+	// within level sets (§X.B).
+	Order []string
+
+	// DisableHoisting pins every constraint to the innermost loop instead
+	// of its outermost feasible level. Survivors are unchanged; visit
+	// counts explode. Exists for the hoisting ablation.
+	DisableHoisting bool
+
+	// DisableFolding skips plan-time constant propagation of settings into
+	// expressions. Exists for the folding ablation; deferred and closure
+	// host functions still receive setting values through their argument
+	// slots either way.
+	DisableFolding bool
+}
+
+// Compile builds the Program for s.
+func Compile(s *space.Space, opts Options) (*Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Plan-time specialization: start from the settings and repeatedly
+	// fold derived variables whose dependencies are all constants.
+	folded := make(map[string]expr.Value)
+	if !opts.DisableFolding {
+		for k, v := range s.ConstMap() {
+			folded[k] = v
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, d := range s.DerivedVars() {
+				if _, done := folded[d.Name]; done {
+					continue
+				}
+				f := d.Expr.Fold(folded)
+				if lit, ok := f.(*expr.Lit); ok {
+					folded[d.Name] = lit.V
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Dependency DAG over the non-constant entities.
+	g := dag.New()
+	isConst := func(name string) bool { _, ok := folded[name]; return ok }
+	isSetting := func(name string) bool {
+		k, ok := s.Kind(name)
+		return ok && k == space.SettingNode
+	}
+	liveDerived := make([]*space.Derived, 0, len(s.DerivedVars()))
+	for _, it := range s.Iterators() {
+		g.AddVertex(it.Name, "iterator")
+	}
+	for _, d := range s.DerivedVars() {
+		if isConst(d.Name) {
+			continue
+		}
+		liveDerived = append(liveDerived, d)
+		g.AddVertex(d.Name, "derived")
+	}
+	for _, c := range s.Constraints() {
+		g.AddVertex(c.Name, "constraint")
+	}
+	addDeps := func(name string, deps []string) {
+		for _, dep := range deps {
+			if isConst(dep) || isSetting(dep) {
+				continue
+			}
+			g.AddEdge(dep, name)
+		}
+	}
+	for _, it := range s.Iterators() {
+		// Deferred and closure iterators keep their full declared
+		// dependency lists as DAG edges even when a dependency folded to a
+		// constant elsewhere: the host function still receives the value.
+		if it.Kind == space.ExprIter {
+			addDeps(it.Name, space.DomainDeps(it.Domain.Fold(folded)))
+		} else {
+			addDeps(it.Name, it.Deps())
+		}
+	}
+	for _, d := range liveDerived {
+		addDeps(d.Name, expr.Deps(d.Expr.Fold(folded)))
+	}
+	for _, c := range s.Constraints() {
+		if c.Deferred() {
+			addDeps(c.Name, c.Deps())
+		} else {
+			addDeps(c.Name, expr.Deps(c.Pred.Fold(folded)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	iterOrder, err := chooseOrder(s, g, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scope: settings first (prefilled), then iterators in loop order,
+	// then derived variables.
+	scope := expr.NewScope()
+	var inits []SettingInit
+	for _, name := range s.Settings() {
+		v, _ := s.SettingValue(name)
+		inits = append(inits, SettingInit{Name: name, Slot: scope.Declare(name), V: v})
+	}
+	loopPos := make(map[string]int, len(iterOrder))
+	loops := make([]*Loop, len(iterOrder))
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	levelOf := make(map[string]int)
+	for l, names := range levels {
+		for _, n := range names {
+			levelOf[n] = l
+		}
+	}
+	for i, name := range iterOrder {
+		it, _ := s.Iterator(name)
+		loopPos[name] = i
+		loops[i] = &Loop{Iter: it, Slot: scope.Declare(name), Level: levelOf[name]}
+	}
+	for _, d := range liveDerived {
+		scope.Declare(d.Name)
+	}
+
+	// depthOf: the outermost loop index at which a name's value is
+	// available. Settings and folded constants are available at depth -1
+	// (the prelude).
+	depthMemo := make(map[string]int)
+	var depthOf func(name string) (int, error)
+	depthOf = func(name string) (int, error) {
+		if d, ok := depthMemo[name]; ok {
+			return d, nil
+		}
+		if isConst(name) || isSetting(name) {
+			depthMemo[name] = -1
+			return -1, nil
+		}
+		if p, ok := loopPos[name]; ok {
+			depthMemo[name] = p
+			return p, nil
+		}
+		// Derived variable: max over dependencies.
+		for _, d := range liveDerived {
+			if d.Name != name {
+				continue
+			}
+			depth := -1
+			for _, dep := range expr.Deps(d.Expr.Fold(folded)) {
+				dd, err := depthOf(dep)
+				if err != nil {
+					return 0, err
+				}
+				if dd > depth {
+					depth = dd
+				}
+			}
+			depthMemo[name] = depth
+			return depth, nil
+		}
+		return 0, fmt.Errorf("plan: unknown name %q in dependency chain", name)
+	}
+
+	prog := &Program{
+		Source: s,
+		Scope:  scope,
+		Graph:  g,
+		Folded: folded,
+	}
+	prog.Settings = inits
+	prog.Loops = loops
+
+	// Bind loop domains and argument slots.
+	argSlotsFor := func(deps []string) ([]int, error) {
+		slots := make([]int, len(deps))
+		for i, dep := range deps {
+			slot, ok := scope.Slot(dep)
+			if !ok {
+				return nil, fmt.Errorf("plan: dependency %q has no slot", dep)
+			}
+			slots[i] = slot
+		}
+		return slots, nil
+	}
+	for _, lp := range loops {
+		it := lp.Iter
+		switch it.Kind {
+		case space.ExprIter:
+			bound, err := it.Domain.Fold(folded).Bind(scope)
+			if err != nil {
+				return nil, fmt.Errorf("plan: iterator %s: %w", it.Name, err)
+			}
+			lp.Domain = bound
+		default:
+			slots, err := argSlotsFor(it.DeclaredDeps)
+			if err != nil {
+				return nil, fmt.Errorf("plan: iterator %s: %w", it.Name, err)
+			}
+			lp.ArgSlots = slots
+		}
+	}
+
+	// Place derived variables and constraints. Process in topological
+	// order so that, within one loop body, a derived variable is assigned
+	// before anything that reads it.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	derivedByName := make(map[string]*space.Derived)
+	for _, d := range liveDerived {
+		derivedByName[d.Name] = d
+	}
+	constraintByName := make(map[string]*space.Constraint)
+	for _, c := range s.Constraints() {
+		constraintByName[c.Name] = c
+	}
+	attach := func(depth int, st Step) {
+		if depth < 0 {
+			prog.Prelude = append(prog.Prelude, st)
+		} else {
+			loops[depth].Steps = append(loops[depth].Steps, st)
+		}
+	}
+	innermost := len(loops) - 1
+	for _, name := range topo {
+		if d, ok := derivedByName[name]; ok {
+			depth, err := depthOf(name)
+			if err != nil {
+				return nil, err
+			}
+			slot, _ := scope.Slot(name)
+			bound, err := expr.Bind(d.Expr.Fold(folded), scope)
+			if err != nil {
+				return nil, fmt.Errorf("plan: derived %s: %w", name, err)
+			}
+			attach(depth, Step{Kind: AssignStep, Name: name, Slot: slot, Expr: bound, StatsID: -1})
+			continue
+		}
+		c, ok := constraintByName[name]
+		if !ok {
+			continue // iterator
+		}
+		// Placement depth comes from the folded dependency set: a
+		// predicate whose setting-dependent branch folds away can hoist
+		// past the dependencies that vanished with it.
+		cdeps := c.Deps()
+		if !c.Deferred() {
+			cdeps = expr.Deps(c.Pred.Fold(folded))
+		}
+		depth := -1
+		for _, dep := range cdeps {
+			dd, err := depthOf(dep)
+			if err != nil {
+				return nil, err
+			}
+			if dd > depth {
+				depth = dd
+			}
+		}
+		if opts.DisableHoisting && innermost >= 0 {
+			depth = innermost
+		}
+		st := Step{Kind: CheckStep, Name: name, Constraint: c, StatsID: len(prog.Constraints)}
+		prog.Constraints = append(prog.Constraints, c)
+		if c.Deferred() {
+			slots, err := argSlotsFor(c.DeclaredDeps)
+			if err != nil {
+				return nil, fmt.Errorf("plan: constraint %s: %w", name, err)
+			}
+			st.ArgSlots = slots
+		} else {
+			bound, err := expr.Bind(c.Pred.Fold(folded), scope)
+			if err != nil {
+				return nil, fmt.Errorf("plan: constraint %s: %w", name, err)
+			}
+			st.Expr = bound
+		}
+		attach(depth, st)
+	}
+
+	return prog, nil
+}
+
+// chooseOrder returns the loop order: a stable topological order of the
+// iterators, or the validated user-specified order.
+func chooseOrder(s *space.Space, g *dag.Graph, opts Options) ([]string, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var iters []string
+	for _, name := range topo {
+		if k, _ := s.Kind(name); k == space.IterNode {
+			iters = append(iters, name)
+		}
+	}
+	if opts.Order == nil {
+		return iters, nil
+	}
+	if len(opts.Order) != len(iters) {
+		return nil, fmt.Errorf("plan: Order lists %d iterators, space has %d", len(opts.Order), len(iters))
+	}
+	seen := make(map[string]bool, len(opts.Order))
+	for _, name := range opts.Order {
+		if k, ok := s.Kind(name); !ok || k != space.IterNode {
+			return nil, fmt.Errorf("plan: Order entry %q is not an iterator", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("plan: Order lists %q twice", name)
+		}
+		seen[name] = true
+	}
+	// Validate against the DAG: if a path runs a -> b (b depends on a,
+	// possibly through derived variables), a must come first.
+	pos := make(map[string]int, len(opts.Order))
+	for i, name := range opts.Order {
+		pos[name] = i
+	}
+	for _, a := range opts.Order {
+		for _, b := range opts.Order {
+			if a != b && g.Reaches(a, b) && pos[a] > pos[b] {
+				return nil, fmt.Errorf("plan: Order places %q before its dependency %q", b, a)
+			}
+		}
+	}
+	return append([]string(nil), opts.Order...), nil
+}
+
+// NumSlots returns the environment size the program needs.
+func (p *Program) NumSlots() int { return p.Scope.Len() }
+
+// IterNames returns the loop variables in nest order, outermost first.
+func (p *Program) IterNames() []string {
+	out := make([]string, len(p.Loops))
+	for i, lp := range p.Loops {
+		out[i] = lp.Iter.Name
+	}
+	return out
+}
+
+// IterSlots returns the environment slots of the loop variables in nest
+// order.
+func (p *Program) IterSlots() []int {
+	out := make([]int, len(p.Loops))
+	for i, lp := range p.Loops {
+		out[i] = lp.Slot
+	}
+	return out
+}
+
+// NewEnv returns a fresh environment with settings prefilled.
+func (p *Program) NewEnv() *expr.Env {
+	env := expr.NewEnv(p.NumSlots())
+	for _, s := range p.Settings {
+		env.Slots[s.Slot] = s.V
+	}
+	return env
+}
+
+// SettingBySlot returns the prefilled setting values keyed by slot; engines
+// that run on raw int64 environments use it to recover string-valued setting
+// arguments for deferred host functions.
+func (p *Program) SettingBySlot() map[int]expr.Value {
+	out := make(map[int]expr.Value, len(p.Settings))
+	for _, s := range p.Settings {
+		out[s.Slot] = s.V
+	}
+	return out
+}
+
+// Describe renders a human-readable picture of the compiled nest: loop
+// order, level sets, and where each step was hoisted. The paper's
+// space-construction trace, in text.
+func (p *Program) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d loops, %d constraints, %d folded constants\n",
+		len(p.Loops), len(p.Constraints), len(p.Folded))
+	if len(p.Prelude) > 0 {
+		b.WriteString("prelude:\n")
+		for _, st := range p.Prelude {
+			writeStep(&b, "  ", st)
+		}
+	}
+	for i, lp := range p.Loops {
+		indent := strings.Repeat("  ", i)
+		switch lp.Iter.Kind {
+		case space.ExprIter:
+			fmt.Fprintf(&b, "%sfor %s in %s:  # L%d\n", indent, lp.Iter.Name, lp.Domain, lp.Level)
+		default:
+			fmt.Fprintf(&b, "%sfor %s in @%s(%s):  # L%d\n", indent, lp.Iter.Name,
+				lp.Iter.Kind, strings.Join(lp.Iter.DeclaredDeps, ", "), lp.Level)
+		}
+		for _, st := range lp.Steps {
+			writeStep(&b, indent+"  ", st)
+		}
+	}
+	return b.String()
+}
+
+func writeStep(b *strings.Builder, indent string, st Step) {
+	switch st.Kind {
+	case AssignStep:
+		fmt.Fprintf(b, "%s%s = %s\n", indent, st.Name, st.Expr)
+	case CheckStep:
+		if st.Constraint.Deferred() {
+			fmt.Fprintf(b, "%sif %s(...): continue  # %s, deferred\n", indent, st.Name, st.Constraint.Class)
+		} else {
+			fmt.Fprintf(b, "%sif %s: continue  # %s, %s\n", indent, st.Expr, st.Name, st.Constraint.Class)
+		}
+	}
+}
+
+// FoldedNames returns the names folded to constants at plan time, sorted.
+func (p *Program) FoldedNames() []string {
+	out := make([]string, 0, len(p.Folded))
+	for n := range p.Folded {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

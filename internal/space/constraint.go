@@ -1,0 +1,105 @@
+package space
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// Class is the paper's taxonomy of pruning constraints (§IX.E).
+type Class uint8
+
+// Constraint classes.
+const (
+	// Hard constraints are tied to hardware limits: violating kernels fail
+	// to compile or launch (Figure 13).
+	Hard Class = iota
+	// Soft constraints reject kernels that are correct but guaranteed slow,
+	// such as low-occupancy configurations (Figure 14).
+	Soft
+	// Correctness constraints reject kernels that violate algorithmic
+	// assumptions, such as divisibility of tile sizes (Figure 15).
+	Correctness
+)
+
+func (c Class) String() string {
+	switch c {
+	case Hard:
+		return "hard"
+	case Soft:
+		return "soft"
+	case Correctness:
+		return "correctness"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Constraint prunes the search space. Following the paper's @condition
+// convention (Figures 13–15), Pred is a *rejection* predicate: a tuple for
+// which it evaluates true is removed from the space.
+//
+// Expression constraints carry Pred; deferred constraints carry Fn plus
+// DeclaredDeps, mirroring deferred iterators (§VI).
+type Constraint struct {
+	Name  string
+	Class Class
+
+	// Pred is the rejection predicate of an expression constraint.
+	Pred expr.Expr
+
+	// DeclaredDeps and Fn define a deferred constraint: Fn receives the
+	// values of DeclaredDeps in declaration order and reports rejection.
+	DeclaredDeps []string
+	Fn           func(args []expr.Value) bool
+
+	// Doc is an optional human-readable description.
+	Doc string
+}
+
+// Deferred reports whether the constraint is a deferred (host-function)
+// constraint rather than an expression constraint.
+func (c *Constraint) Deferred() bool { return c.Fn != nil }
+
+// Deps returns the sorted set of names the constraint reads.
+func (c *Constraint) Deps() []string {
+	if c.Deferred() {
+		out := make([]string, len(c.DeclaredDeps))
+		copy(out, c.DeclaredDeps)
+		sort.Strings(out)
+		return out
+	}
+	return expr.Deps(c.Pred)
+}
+
+// Rejects evaluates the constraint in env. For deferred constraints,
+// argSlots holds the environment slots of DeclaredDeps.
+func (c *Constraint) Rejects(env *expr.Env, argSlots []int) bool {
+	if c.Deferred() {
+		return c.Fn(gatherArgs(env, argSlots))
+	}
+	return c.Pred.Eval(env).Truthy()
+}
+
+func (c *Constraint) String() string {
+	if c.Deferred() {
+		return fmt.Sprintf("@condition %s(%v) [%s, deferred]", c.Name, c.DeclaredDeps, c.Class)
+	}
+	return fmt.Sprintf("@condition %s: %s [%s]", c.Name, c.Pred, c.Class)
+}
+
+// Derived is a named intermediate value computed from iterators, settings,
+// and other derived variables — the threads_per_block, regs_per_block, ...
+// of Figure 12. Constraints typically reference derived variables rather
+// than repeating their defining arithmetic.
+type Derived struct {
+	Name string
+	Expr expr.Expr
+	Doc  string
+}
+
+// Deps returns the sorted set of names the derived variable reads.
+func (d *Derived) Deps() []string { return expr.Deps(d.Expr) }
+
+func (d *Derived) String() string { return fmt.Sprintf("%s = %s", d.Name, d.Expr) }

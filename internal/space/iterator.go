@@ -1,0 +1,138 @@
+package space
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// IterKind distinguishes the three iterator forms of §V of the paper.
+type IterKind uint8
+
+// The iterator forms.
+const (
+	// ExprIter is an expression iterator: a domain built from range(),
+	// lists, conditionals, and the iterator algebra, with bounds that may
+	// reference outer iterators (Figures 1, 4, 11).
+	ExprIter IterKind = iota
+	// DeferredIter is a deferred iterator: an opaque host function of the
+	// declared dependencies returning the domain to iterate (Figures 2, 5).
+	// Deferred iterators relax definition order and admit arbitrary host
+	// logic, at the cost of being opaque to code generation.
+	DeferredIter
+	// ClosureIter is a closure (generator) iterator: a host generator that
+	// may hold internal state between yields, such as the prime and
+	// Fibonacci generators of Figures 3 and 6.
+	ClosureIter
+)
+
+func (k IterKind) String() string {
+	switch k {
+	case ExprIter:
+		return "expression"
+	case DeferredIter:
+		return "deferred"
+	case ClosureIter:
+		return "closure"
+	default:
+		return fmt.Sprintf("IterKind(%d)", uint8(k))
+	}
+}
+
+// DeferredFn computes a deferred iterator's domain from the current values
+// of its declared dependencies, passed in declaration order.
+type DeferredFn func(args []expr.Value) DomainExpr
+
+// GeneratorFn produces a closure iterator's values by calling yield for each
+// one, stopping early if yield returns false. The function is re-entered
+// from the top on every activation of the loop, so internal state lives in
+// its local variables exactly as in the paper's Python generators.
+type GeneratorFn func(args []expr.Value, yield func(int64) bool)
+
+// Iterator is one dimension of the search space.
+type Iterator struct {
+	Name string
+	Kind IterKind
+
+	// Domain is the value sequence of an ExprIter; nil otherwise.
+	Domain DomainExpr
+
+	// DeclaredDeps are the dependency names of a deferred or closure
+	// iterator, in the order their values are passed to the host function.
+	// They play the role of the Python function's parameter list.
+	DeclaredDeps []string
+
+	// Deferred is the host function of a DeferredIter; nil otherwise.
+	Deferred DeferredFn
+
+	// Generator is the host generator of a ClosureIter; nil otherwise.
+	Generator GeneratorFn
+
+	// Doc is an optional human-readable description carried into reports
+	// and generated code comments.
+	Doc string
+}
+
+// Deps returns the sorted set of names this iterator's domain depends on.
+func (it *Iterator) Deps() []string {
+	switch it.Kind {
+	case ExprIter:
+		return DomainDeps(it.Domain)
+	default:
+		out := make([]string, len(it.DeclaredDeps))
+		copy(out, it.DeclaredDeps)
+		sort.Strings(out)
+		return out
+	}
+}
+
+// Iterate yields the iterator's values for the current environment. For
+// deferred and closure iterators, argSlots holds the environment slots of
+// DeclaredDeps in declaration order (resolved by the planner).
+func (it *Iterator) Iterate(env *expr.Env, argSlots []int, yield func(int64) bool) bool {
+	switch it.Kind {
+	case ExprIter:
+		return it.Domain.Iterate(env, yield)
+	case DeferredIter:
+		d := it.Deferred(gatherArgs(env, argSlots))
+		if d == nil {
+			return true
+		}
+		// The returned domain must be *closed*: built only from the
+		// argument values and constants (the paper's deferred iterators
+		// read only their parameters and globals). It is evaluated against
+		// an empty environment so that a stray reference fails identically
+		// under every backend.
+		return d.Iterate(&expr.Env{}, yield)
+	case ClosureIter:
+		done := true
+		it.Generator(gatherArgs(env, argSlots), func(v int64) bool {
+			if !yield(v) {
+				done = false
+				return false
+			}
+			return true
+		})
+		return done
+	default:
+		panic(fmt.Sprintf("space: bad iterator kind %v", it.Kind))
+	}
+}
+
+func gatherArgs(env *expr.Env, slots []int) []expr.Value {
+	args := make([]expr.Value, len(slots))
+	for i, s := range slots {
+		args[i] = env.Slots[s]
+	}
+	return args
+}
+
+func (it *Iterator) String() string {
+	switch it.Kind {
+	case ExprIter:
+		return fmt.Sprintf("%s = %s", it.Name, it.Domain)
+	default:
+		return fmt.Sprintf("%s = @%s(%v)", it.Name, it.Kind, it.DeclaredDeps)
+	}
+}

@@ -1,0 +1,470 @@
+package space
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func materialize(t *testing.T, d DomainExpr, env *expr.Env) []int64 {
+	t.Helper()
+	if env == nil {
+		env = &expr.Env{}
+	}
+	return Materialize(d, env)
+}
+
+func TestRangeDomain(t *testing.T) {
+	cases := []struct {
+		d    DomainExpr
+		want []int64
+	}{
+		{NewRange(expr.IntLit(0), expr.IntLit(4)), []int64{0, 1, 2, 3}},
+		{NewRange(expr.IntLit(3), expr.IntLit(3)), nil},
+		{NewRange(expr.IntLit(5), expr.IntLit(3)), nil},
+		{NewRangeStep(expr.IntLit(1), expr.IntLit(10), expr.IntLit(3)), []int64{1, 4, 7}},
+		{NewRangeStep(expr.IntLit(6), expr.IntLit(0), expr.IntLit(-2)), []int64{6, 4, 2}},
+		{NewRangeStep(expr.IntLit(0), expr.IntLit(5), expr.IntLit(0)), nil}, // zero step = empty
+	}
+	for _, c := range cases {
+		if got := materialize(t, c.d, nil); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+// Python range oracle: materialized values match the closed form count.
+func TestRangeAgainstPythonSemantics(t *testing.T) {
+	f := func(start, stop int16, step int8) bool {
+		if step == 0 {
+			return true
+		}
+		d := NewRangeStep(expr.IntLit(int64(start)), expr.IntLit(int64(stop)), expr.IntLit(int64(step)))
+		vals := Materialize(d, &expr.Env{})
+		// Oracle: count = max(0, ceil((stop-start)/step)).
+		n := int64(0)
+		s, e, st := int64(start), int64(stop), int64(step)
+		if st > 0 && e > s {
+			n = (e - s + st - 1) / st
+		} else if st < 0 && e < s {
+			n = (s - e + (-st) - 1) / (-st)
+		}
+		if int64(len(vals)) != n {
+			return false
+		}
+		for i, v := range vals {
+			if v != s+int64(i)*st {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgebraDomains(t *testing.T) {
+	a := NewIntList(1, 3, 5, 3)
+	b := NewIntList(3, 4, 5)
+	cases := []struct {
+		d    DomainExpr
+		want []int64
+	}{
+		{Union(a, b), []int64{1, 3, 4, 5}},
+		{Intersect(a, b), []int64{3, 5}},
+		{Difference(a, b), []int64{1}},
+		{Concat(a, b), []int64{1, 3, 5, 3, 3, 4, 5}},
+		{Union(Difference(a, b), Intersect(a, b)), []int64{1, 3, 5}},
+	}
+	for _, c := range cases {
+		if got := materialize(t, c.d, nil); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+// Set-algebra laws on the materialized sets.
+func TestAlgebraProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		toList := func(vs []uint8) *ListDomain {
+			out := make([]int64, len(vs))
+			for i, v := range vs {
+				out[i] = int64(v % 16)
+			}
+			return NewIntList(out...)
+		}
+		a, b := toList(xs), toList(ys)
+		env := &expr.Env{}
+		u := Materialize(Union(a, b), env)
+		i := Materialize(Intersect(a, b), env)
+		d1 := Materialize(Difference(a, b), env)
+		d2 := Materialize(Difference(b, a), env)
+		// |U| = |A\B| + |B\A| + |A∩B|
+		if len(u) != len(d1)+len(d2)+len(i) {
+			return false
+		}
+		// Union is sorted and deduplicated.
+		for k := 1; k < len(u); k++ {
+			if u[k] <= u[k-1] {
+				return false
+			}
+		}
+		// Intersection ⊆ both.
+		inA := map[int64]bool{}
+		for _, v := range Materialize(a, env) {
+			inA[v] = true
+		}
+		for _, v := range i {
+			if !inA[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondDomainFold(t *testing.T) {
+	d := NewCond(
+		expr.Eq(expr.NewRef("p"), expr.StrLit("x")),
+		NewRange(expr.IntLit(0), expr.IntLit(2)),
+		NewRange(expr.IntLit(5), expr.IntLit(7)),
+	)
+	folded := d.Fold(map[string]expr.Value{"p": expr.StrVal("x")})
+	if _, ok := folded.(*RangeDomain); !ok {
+		t.Fatalf("fold did not select branch: %T", folded)
+	}
+	if got := materialize(t, folded, nil); !reflect.DeepEqual(got, []int64{0, 1}) {
+		t.Errorf("folded = %v", got)
+	}
+	folded2 := d.Fold(map[string]expr.Value{"p": expr.StrVal("y")})
+	if got := materialize(t, folded2, nil); !reflect.DeepEqual(got, []int64{5, 6}) {
+		t.Errorf("folded else = %v", got)
+	}
+}
+
+func TestDomainBindIsolationAndDeps(t *testing.T) {
+	d := NewRangeStep(expr.NewRef("lo"), expr.NewRef("hi"), expr.IntLit(1))
+	deps := DomainDeps(d)
+	if !reflect.DeepEqual(deps, []string{"hi", "lo"}) {
+		t.Errorf("deps = %v", deps)
+	}
+	sc := expr.NewScope()
+	sc.Declare("lo")
+	sc.Declare("hi")
+	bound, err := d.Bind(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := expr.NewEnv(2)
+	env.Slots[0], env.Slots[1] = expr.IntVal(2), expr.IntVal(5)
+	if got := Materialize(bound, env); !reflect.DeepEqual(got, []int64{2, 3, 4}) {
+		t.Errorf("bound range = %v", got)
+	}
+	if _, err := d.Bind(expr.NewScope()); err == nil {
+		t.Error("binding against empty scope must fail")
+	}
+}
+
+func TestIteratorKinds(t *testing.T) {
+	s := New()
+	s.IntSetting("n", 6)
+	s.Range("r", expr.IntLit(0), expr.NewRef("n"))
+	s.DeferredIter("d", []string{"r"}, func(args []expr.Value) DomainExpr {
+		return NewIntList(args[0].I * 2)
+	})
+	s.ClosureIter("fib", []string{"n"}, func(args []expr.Value, yield func(int64) bool) {
+		k, n := int64(1), int64(1)
+		for n <= args[0].I {
+			if !yield(n) {
+				return
+			}
+			n, k = n+k, n
+		}
+	})
+	it, _ := s.Iterator("fib")
+	var got []int64
+	env := expr.NewEnv(1)
+	env.Slots[0] = expr.IntVal(6)
+	it.Iterate(env, []int{0}, func(v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if !reflect.DeepEqual(got, []int64{1, 2, 3, 5}) {
+		t.Errorf("fibonacci closure = %v", got)
+	}
+	// Early stop propagates.
+	got = got[:0]
+	done := it.Iterate(env, []int{0}, func(v int64) bool {
+		got = append(got, v)
+		return len(got) < 2
+	})
+	if done || len(got) != 2 {
+		t.Errorf("early stop: done=%v got=%v", done, got)
+	}
+	if it.Kind.String() != "closure" {
+		t.Errorf("kind = %s", it.Kind)
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	s := New()
+	s.IntSetting("n", 4)
+	s.Range("x", expr.IntLit(0), expr.NewRef("n"))
+	s.Constrain("c", Hard, expr.Gt(expr.NewRef("x"), expr.NewRef("nope")))
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Validate = %v", err)
+	}
+
+	s2 := New()
+	s2.Range("x", expr.IntLit(0), expr.IntLit(2))
+	s2.Range("x", expr.IntLit(0), expr.IntLit(3))
+	if err := s2.Validate(); err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("redeclare = %v", err)
+	}
+
+	s3 := New()
+	s3.Constrain("k", Soft, expr.BoolLit(true))
+	s3.Derived("d", expr.Add(expr.NewRef("k"), expr.IntLit(1)))
+	if err := s3.Validate(); err == nil || !strings.Contains(err.Error(), "constraint") {
+		t.Errorf("constraint-as-dep = %v", err)
+	}
+
+	s4 := New()
+	s4.RangeStep("z", expr.IntLit(0), expr.IntLit(5), expr.IntLit(0))
+	if err := s4.Validate(); err == nil || !strings.Contains(err.Error(), "zero step") {
+		t.Errorf("zero step = %v", err)
+	}
+}
+
+func TestSpaceAccessors(t *testing.T) {
+	s := New()
+	s.IntSetting("b_set", 1)
+	s.IntSetting("a_set", 2)
+	s.Flag("f")
+	s.Derived("d", expr.NewRef("f"))
+	s.Constrain("c", Correctness, expr.Eq(expr.NewRef("f"), expr.IntLit(0)))
+	if got := s.Settings(); !reflect.DeepEqual(got, []string{"b_set", "a_set"}) {
+		t.Errorf("Settings = %v", got)
+	}
+	if got := s.SortedSettings(); !sort.StringsAreSorted(got) {
+		t.Errorf("SortedSettings = %v", got)
+	}
+	if k, ok := s.Kind("d"); !ok || k != DerivedNode {
+		t.Error("Kind(d) wrong")
+	}
+	if _, ok := s.Iterator("zzz"); ok {
+		t.Error("phantom iterator")
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "1 iterators") || !strings.Contains(sum, "1 correctness") {
+		t.Errorf("Summary = %q", sum)
+	}
+	if got := s.Names(); len(got) != 5 {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestFlagIdiom(t *testing.T) {
+	s := New()
+	it := s.Flag("tex_a")
+	if got := materialize(t, it.Domain, nil); !reflect.DeepEqual(got, []int64{0, 1}) {
+		t.Errorf("Flag domain = %v", got)
+	}
+}
+
+func TestConstraintStringAndDocs(t *testing.T) {
+	s := New()
+	s.Range("x", expr.IntLit(0), expr.IntLit(4))
+	c := s.Constrain("k", Hard, expr.Gt(expr.NewRef("x"), expr.IntLit(2)))
+	c.Doc = "threshold"
+	if str := c.String(); !strings.Contains(str, "k") || !strings.Contains(str, "hard") {
+		t.Errorf("String = %q", str)
+	}
+	dc := s.DeferredConstraint("dk", Soft, []string{"x"}, func(args []expr.Value) bool {
+		return args[0].I == 1
+	})
+	if !dc.Deferred() || !strings.Contains(dc.String(), "deferred") {
+		t.Error("deferred constraint misreported")
+	}
+	if got := dc.Deps(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("deferred deps = %v", got)
+	}
+}
+
+func TestDomainStringRendering(t *testing.T) {
+	cases := []struct {
+		d    DomainExpr
+		want string
+	}{
+		{NewRange(expr.IntLit(0), expr.IntLit(4)), "range(0, 4)"},
+		{NewRangeStep(expr.IntLit(1), expr.IntLit(9), expr.IntLit(2)), "range(1, 9, 2)"},
+		{NewIntList(1, 2, 3), "[1, 2, 3]"},
+		{NewList(expr.NewRef("a")), "[a]"},
+		{NewCond(expr.Gt(expr.NewRef("a"), expr.IntLit(0)),
+			NewRange(expr.IntLit(0), expr.IntLit(2)), NewIntList(5)),
+			"(range(0, 2) if (a > 0) else [5])"},
+		{Union(NewIntList(1), NewIntList(2)), "union([1], [2])"},
+		{Intersect(NewIntList(1), NewIntList(2)), "intersect([1], [2])"},
+		{Difference(NewIntList(1), NewIntList(2)), "difference([1], [2])"},
+		{Concat(NewIntList(1), NewIntList(2)), "concat([1], [2])"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if got := OpUnion.String(); got != "union" {
+		t.Errorf("SetOp = %q", got)
+	}
+	if got := SetOp(99).String(); got != "SetOp(99)" {
+		t.Errorf("bad SetOp = %q", got)
+	}
+}
+
+func TestCondAndListBindFoldDeps(t *testing.T) {
+	d := NewCond(
+		expr.Gt(expr.NewRef("p"), expr.IntLit(0)),
+		NewList(expr.NewRef("q"), expr.IntLit(1)),
+		NewRange(expr.IntLit(0), expr.NewRef("r")),
+	)
+	if got := DomainDeps(d); !reflect.DeepEqual(got, []string{"p", "q", "r"}) {
+		t.Errorf("deps = %v", got)
+	}
+	// Partial fold: p unknown, q known.
+	folded := d.Fold(map[string]expr.Value{"q": expr.IntVal(7)})
+	cd, ok := folded.(*CondDomain)
+	if !ok {
+		t.Fatalf("fold collapsed prematurely: %T", folded)
+	}
+	if got := DomainDeps(cd); !reflect.DeepEqual(got, []string{"p", "r"}) {
+		t.Errorf("folded deps = %v", got)
+	}
+	// Bind, then evaluate both branches.
+	sc := expr.NewScope()
+	for _, n := range []string{"p", "q", "r"} {
+		sc.Declare(n)
+	}
+	bound, err := d.Bind(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := expr.NewEnv(3)
+	env.Slots[0], env.Slots[1], env.Slots[2] = expr.IntVal(1), expr.IntVal(9), expr.IntVal(3)
+	if got := Materialize(bound, env); !reflect.DeepEqual(got, []int64{9, 1}) {
+		t.Errorf("then branch = %v", got)
+	}
+	env.Slots[0] = expr.IntVal(0)
+	if got := Materialize(bound, env); !reflect.DeepEqual(got, []int64{0, 1, 2}) {
+		t.Errorf("else branch = %v", got)
+	}
+	// Bind failure propagates from each position.
+	if _, err := d.Bind(expr.NewScope()); err == nil {
+		t.Error("bind against empty scope succeeded")
+	}
+}
+
+func TestAlgebraBindFold(t *testing.T) {
+	d := Union(
+		NewRange(expr.IntLit(0), expr.NewRef("n")),
+		NewList(expr.NewRef("m")),
+	)
+	folded := d.Fold(map[string]expr.Value{"n": expr.IntVal(3), "m": expr.IntVal(9)})
+	if got := DomainDeps(folded); len(got) != 0 {
+		t.Errorf("folded deps = %v", got)
+	}
+	if got := Materialize(folded, &expr.Env{}); !reflect.DeepEqual(got, []int64{0, 1, 2, 9}) {
+		t.Errorf("folded union = %v", got)
+	}
+	sc := expr.NewScope()
+	sc.Declare("n")
+	sc.Declare("m")
+	bound, err := d.Bind(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := expr.NewEnv(2)
+	env.Slots[0], env.Slots[1] = expr.IntVal(2), expr.IntVal(0)
+	if got := Materialize(bound, env); !reflect.DeepEqual(got, []int64{0, 1}) {
+		t.Errorf("bound union = %v", got)
+	}
+	// Early stop through the algebra path.
+	n := 0
+	bound.Iterate(env, func(int64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestIteratorAndDerivedStrings(t *testing.T) {
+	s := New()
+	it := s.Range("x", expr.IntLit(0), expr.IntLit(3))
+	if got := it.String(); got != "x = range(0, 3)" {
+		t.Errorf("iterator String = %q", got)
+	}
+	di := s.DeferredIter("d", []string{"x"}, func([]expr.Value) DomainExpr { return nil })
+	if got := di.String(); !strings.Contains(got, "@deferred") {
+		t.Errorf("deferred String = %q", got)
+	}
+	if got := di.Deps(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("deferred Deps = %v", got)
+	}
+	dv := s.Derived("v", expr.Add(expr.NewRef("x"), expr.IntLit(1)))
+	if got := dv.String(); got != "v = (x + 1)" {
+		t.Errorf("derived String = %q", got)
+	}
+	if got := dv.Deps(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("derived Deps = %v", got)
+	}
+	for _, k := range []IterKind{ExprIter, DeferredIter, ClosureIter, IterKind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	for _, k := range []NodeKind{SettingNode, IterNode, DerivedNode, ConstraintNode, NodeKind(9)} {
+		if k.String() == "" {
+			t.Error("empty node kind name")
+		}
+	}
+	for _, c := range []Class{Hard, Soft, Correctness, Class(9)} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestConstraintRejects(t *testing.T) {
+	s := New()
+	s.Range("x", expr.IntLit(0), expr.IntLit(4))
+	c := s.Constrain("k", Hard, expr.Gt(expr.NewRef("x"), expr.IntLit(2)))
+	sc := expr.NewScope()
+	sc.Declare("x")
+	bound, err := expr.Bind(c.Pred, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := &Constraint{Name: "k", Class: Hard, Pred: bound}
+	env := expr.NewEnv(1)
+	env.Slots[0] = expr.IntVal(3)
+	if !cb.Rejects(env, nil) {
+		t.Error("x=3 should be rejected")
+	}
+	env.Slots[0] = expr.IntVal(1)
+	if cb.Rejects(env, nil) {
+		t.Error("x=1 should pass")
+	}
+	dc := s.DeferredConstraint("dk", Soft, []string{"x"}, func(args []expr.Value) bool {
+		return args[0].I == 1
+	})
+	if !dc.Rejects(env, []int{0}) {
+		t.Error("deferred constraint should reject x=1")
+	}
+}

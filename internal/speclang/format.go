@@ -1,0 +1,185 @@
+package speclang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// Format renders a space in the textual notation, the inverse of Parse.
+// Only the declarative subset round-trips: deferred and closure iterators,
+// deferred constraints, and capability-table lookups (Table2D) are host
+// constructs with no textual form and are reported as errors. The output
+// re-parses to a space with identical enumeration behaviour
+// (TestFormatRoundTrip pins this).
+func Format(s *space.Space) (string, error) {
+	var b strings.Builder
+	for _, name := range s.Settings() {
+		v, _ := s.SettingValue(name)
+		fmt.Fprintf(&b, "setting %s = %s\n", name, v)
+	}
+	if len(s.Settings()) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, it := range s.Iterators() {
+		if it.Kind != space.ExprIter {
+			return "", fmt.Errorf("speclang: %s iterator %q has no textual form", it.Kind, it.Name)
+		}
+		d, err := formatDomain(it.Domain)
+		if err != nil {
+			return "", fmt.Errorf("speclang: iterator %s: %w", it.Name, err)
+		}
+		fmt.Fprintf(&b, "%s = %s\n", it.Name, d)
+	}
+	if len(s.DerivedVars()) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, d := range s.DerivedVars() {
+		e, err := formatExpr(d.Expr)
+		if err != nil {
+			return "", fmt.Errorf("speclang: derived %s: %w", d.Name, err)
+		}
+		fmt.Fprintf(&b, "let %s = %s\n", d.Name, e)
+	}
+	if len(s.Constraints()) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, c := range s.Constraints() {
+		if c.Deferred() {
+			return "", fmt.Errorf("speclang: deferred constraint %q has no textual form", c.Name)
+		}
+		e, err := formatExpr(c.Pred)
+		if err != nil {
+			return "", fmt.Errorf("speclang: constraint %s: %w", c.Name, err)
+		}
+		fmt.Fprintf(&b, "constraint %s %s: %s\n", c.Class, c.Name, e)
+	}
+	return b.String(), nil
+}
+
+func formatDomain(d space.DomainExpr) (string, error) {
+	switch n := d.(type) {
+	case *space.RangeDomain:
+		start, err := formatExpr(n.Start)
+		if err != nil {
+			return "", err
+		}
+		stop, err := formatExpr(n.Stop)
+		if err != nil {
+			return "", err
+		}
+		if lit, ok := n.Step.(*expr.Lit); ok && lit.V.Equal(expr.IntVal(1)) {
+			return fmt.Sprintf("range(%s, %s)", start, stop), nil
+		}
+		step, err := formatExpr(n.Step)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("range(%s, %s, %s)", start, stop, step), nil
+	case *space.ListDomain:
+		parts := make([]string, len(n.Elems))
+		for i, e := range n.Elems {
+			s, err := formatExpr(e)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return "[" + strings.Join(parts, ", ") + "]", nil
+	case *space.CondDomain:
+		cond, err := formatExpr(n.Cond)
+		if err != nil {
+			return "", err
+		}
+		then, err := formatDomain(n.Then)
+		if err != nil {
+			return "", err
+		}
+		els, err := formatDomain(n.Else)
+		if err != nil {
+			return "", err
+		}
+		// A nested conditional in the then-branch must be parenthesized or
+		// its `if` would capture this conditional's condition; range/list/
+		// algebra atoms bind correctly bare. (The parser's parenthesized-
+		// domain path only accepts structural domains, which conditionals
+		// are.) The else-branch extends to the end either way, matching
+		// Python's right associativity.
+		if _, nested := n.Then.(*space.CondDomain); nested {
+			then = "(" + then + ")"
+		}
+		return fmt.Sprintf("%s if %s else %s", then, cond, els), nil
+	case *space.AlgebraDomain:
+		l, err := formatDomain(n.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := formatDomain(n.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s(%s, %s)", n.Op, l, r), nil
+	default:
+		return "", fmt.Errorf("domain type %T has no textual form", d)
+	}
+}
+
+func formatExpr(e expr.Expr) (string, error) {
+	switch n := e.(type) {
+	case *expr.Lit:
+		return n.V.String(), nil
+	case *expr.Ref:
+		return n.Name, nil
+	case *expr.Unary:
+		x, err := formatExpr(n.X)
+		if err != nil {
+			return "", err
+		}
+		if n.Op == expr.OpNot {
+			return fmt.Sprintf("not (%s)", x), nil
+		}
+		// The parser has no unary minus applied to parenthesized
+		// expressions problem: -(x) parses fine.
+		return fmt.Sprintf("-(%s)", x), nil
+	case *expr.Binary:
+		l, err := formatExpr(n.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := formatExpr(n.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, n.Op, r), nil
+	case *expr.Ternary:
+		c, err := formatExpr(n.Cond)
+		if err != nil {
+			return "", err
+		}
+		t, err := formatExpr(n.Then)
+		if err != nil {
+			return "", err
+		}
+		f, err := formatExpr(n.Else)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s if %s else %s)", t, c, f), nil
+	case *expr.Call:
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			s, err := formatExpr(a)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return fmt.Sprintf("%s(%s)", n.Fn, strings.Join(parts, ", ")), nil
+	case *expr.Table2D:
+		return "", fmt.Errorf("capability-table lookup %q has no textual form; fold it first", n.Name)
+	default:
+		return "", fmt.Errorf("expression type %T has no textual form", e)
+	}
+}

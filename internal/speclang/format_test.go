@@ -1,0 +1,190 @@
+package speclang
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+func collectAll(t *testing.T, s *space.Space) ([][]int64, *engine.Stats) {
+	t.Helper()
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, st, err := engine.CollectTuples(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tuples, st
+}
+
+func TestFormatRoundTripHandBuilt(t *testing.T) {
+	s := space.New()
+	s.IntSetting("n", 9)
+	s.StrSetting("mode", "fast")
+	s.Setting("flag", expr.BoolVal(true))
+	s.Range("a", expr.IntLit(1), expr.Add(expr.NewRef("n"), expr.IntLit(1)))
+	s.RangeStep("down", expr.NewRef("a"), expr.IntLit(0), expr.IntLit(-2))
+	s.DomainIter("c", space.NewCond(
+		expr.Eq(expr.NewRef("mode"), expr.StrLit("fast")),
+		space.NewRange(expr.IntLit(0), expr.IntLit(3)),
+		space.NewCond(expr.NewRef("flag"),
+			space.NewList(expr.IntLit(7)),
+			space.NewRange(expr.IntLit(0), expr.IntLit(2))),
+	))
+	s.DomainIter("alg", space.Union(
+		space.NewIntList(1, 2),
+		space.Difference(space.NewRange(expr.IntLit(0), expr.IntLit(6)), space.NewIntList(3)),
+	))
+	s.Derived("v", expr.MaxOf(
+		expr.Mul(expr.NewRef("a"), expr.NewRef("c")),
+		expr.Abs(expr.Neg(expr.NewRef("down"))),
+		expr.If(expr.Gt(expr.NewRef("alg"), expr.IntLit(2)), expr.IntLit(10), expr.IntLit(0)),
+	))
+	s.Constrain("k1", space.Hard, expr.Gt(expr.NewRef("v"), expr.Mul(expr.NewRef("n"), expr.IntLit(3))))
+	s.Constrain("k2", space.Soft, expr.And(
+		expr.Not(expr.Eq(expr.Mod(expr.NewRef("v"), expr.IntLit(2)), expr.IntLit(0))),
+		expr.Or(expr.Lt(expr.NewRef("a"), expr.IntLit(5)), expr.NewRef("flag"))))
+	s.Constrain("k3", space.Correctness, expr.Ne(expr.Mod(expr.NewRef("down"), expr.IntLit(2)), expr.IntLit(0)))
+
+	text, err := Format(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+	}
+	a, sa := collectAll(t, s)
+	b, sb := collectAll(t, reparsed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed survivors: %d vs %d\n%s", len(a), len(b), text)
+	}
+	if !reflect.DeepEqual(sa.Kills, sb.Kills) {
+		t.Fatalf("round trip changed kill counts: %v vs %v", sa.Kills, sb.Kills)
+	}
+	// Idempotence: format(parse(format(s))) == format(s).
+	text2, err := Format(reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != text2 {
+		t.Errorf("Format not idempotent:\n--- first ---\n%s--- second ---\n%s", text, text2)
+	}
+}
+
+func TestFormatRejectsHostConstructs(t *testing.T) {
+	s1 := space.New()
+	s1.ClosureIter("g", nil, func([]expr.Value, func(int64) bool) {})
+	if _, err := Format(s1); err == nil || !strings.Contains(err.Error(), "closure") {
+		t.Errorf("closure iterator: err = %v", err)
+	}
+
+	s2 := space.New()
+	s2.Range("x", expr.IntLit(0), expr.IntLit(2))
+	s2.DeferredConstraint("h", space.Soft, []string{"x"}, func([]expr.Value) bool { return false })
+	if _, err := Format(s2); err == nil || !strings.Contains(err.Error(), "deferred") {
+		t.Errorf("deferred constraint: err = %v", err)
+	}
+
+	s3 := space.New()
+	s3.Derived("t", &expr.Table2D{Name: "T", Data: [][]int64{{1}}, Row: expr.IntLit(0), Col: expr.IntLit(0)})
+	if _, err := Format(s3); err == nil || !strings.Contains(err.Error(), "fold") {
+		t.Errorf("table: err = %v", err)
+	}
+}
+
+// Randomized round trip over the expressible subset.
+func TestFormatRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		s := space.New()
+		s.IntSetting("s0", int64(rng.Intn(6)+2))
+		avail := []string{"s0"}
+		randRef := func() expr.Expr { return expr.NewRef(avail[rng.Intn(len(avail))]) }
+		var randE func(d int) expr.Expr
+		randE = func(d int) expr.Expr {
+			if d <= 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return expr.IntLit(int64(rng.Intn(7) - 1))
+				}
+				return randRef()
+			}
+			a, b := randE(d-1), randE(d-1)
+			switch rng.Intn(9) {
+			case 0:
+				return expr.Add(a, b)
+			case 1:
+				return expr.Sub(a, b)
+			case 2:
+				return expr.Mul(a, b)
+			case 3:
+				return expr.Div(a, b)
+			case 4:
+				return expr.Mod(a, b)
+			case 5:
+				return expr.MinOf(a, b)
+			case 6:
+				return expr.If(expr.Ge(a, expr.IntLit(1)), a, b)
+			case 7:
+				return expr.Neg(a)
+			default:
+				return expr.Abs(a)
+			}
+		}
+		n := rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("x%d", i)
+			switch rng.Intn(3) {
+			case 0:
+				s.Range(name, expr.IntLit(0), expr.Add(expr.MaxOf(randE(1), expr.IntLit(0)), expr.IntLit(2)))
+			case 1:
+				s.DomainIter(name, space.NewCond(
+					expr.Gt(randE(1), expr.IntLit(0)),
+					space.NewRange(expr.IntLit(0), expr.IntLit(int64(rng.Intn(3)+2))),
+					space.NewList(expr.IntLit(int64(rng.Intn(5))), randE(1)),
+				))
+			default:
+				s.DomainIter(name, space.Intersect(
+					space.NewRange(expr.IntLit(0), expr.IntLit(6)),
+					space.NewRange(expr.IntLit(int64(rng.Intn(3))), expr.IntLit(8)),
+				))
+			}
+			avail = append(avail, name)
+		}
+		if rng.Intn(2) == 0 {
+			s.Derived("dv", randE(2))
+			avail = append(avail, "dv")
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			s.Constrain(fmt.Sprintf("k%d", i), space.Soft,
+				expr.Lt(randE(2), randE(2)))
+		}
+
+		text, err := Format(s)
+		if err != nil {
+			t.Fatalf("trial %d: Format: %v", trial, err)
+		}
+		reparsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, text)
+		}
+		a, _ := collectAll(t, s)
+		b, _ := collectAll(t, reparsed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: survivors changed (%d vs %d)\n%s", trial, len(a), len(b), text)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package speclang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// lexer tokenizes spec source. Newlines are significant statement
+// terminators except inside parentheses or brackets (Python's implicit line
+// joining), and a trailing backslash joins lines explicitly.
+type lexer struct {
+	src   string
+	pos   int
+	line  int
+	col   int
+	depth int // paren/bracket nesting; newlines are suppressed inside
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// Lex tokenizes the whole source.
+func Lex(src string) ([]Tok, error) {
+	lx := newLexer(src)
+	var out []Tok
+	emitNL := func() {
+		// Collapse consecutive newlines.
+		if len(out) > 0 && out[len(out)-1].Kind != TokNewline {
+			out = append(out, Tok{Kind: TokNewline, Line: lx.line, Col: lx.col})
+		}
+	}
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			break
+		}
+		line, col := lx.line, lx.col
+		switch {
+		case c == '\n':
+			lx.advance()
+			if lx.depth == 0 {
+				emitNL()
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance()
+		case c == '#':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == '\\':
+			lx.advance()
+			// Explicit line joining: require the newline (possibly after
+			// spaces) and swallow it.
+			for {
+				c, ok := lx.peekByte()
+				if !ok {
+					return nil, lx.errf("backslash at end of input")
+				}
+				if c == ' ' || c == '\t' || c == '\r' {
+					lx.advance()
+					continue
+				}
+				if c != '\n' {
+					return nil, lx.errf("unexpected character %q after line continuation", c)
+				}
+				lx.advance()
+				break
+			}
+		case c == '"' || c == '\'':
+			s, err := lx.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Tok{Kind: TokString, Str: s, Line: line, Col: col})
+		case c >= '0' && c <= '9':
+			start := lx.pos
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c < '0' || c > '9' {
+					break
+				}
+				lx.advance()
+			}
+			text := lx.src[start:lx.pos]
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, lx.errf("bad integer literal %q", text)
+			}
+			out = append(out, Tok{Kind: TokInt, Int: v, Text: text, Line: line, Col: col})
+		case isNameStart(c):
+			start := lx.pos
+			for {
+				c, ok := lx.peekByte()
+				if !ok || !isNameCont(c) {
+					break
+				}
+				lx.advance()
+			}
+			text := lx.src[start:lx.pos]
+			kind := TokName
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			out = append(out, Tok{Kind: kind, Text: text, Line: line, Col: col})
+		default:
+			op, err := lx.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "(", "[":
+				lx.depth++
+			case ")", "]":
+				if lx.depth > 0 {
+					lx.depth--
+				}
+			}
+			out = append(out, Tok{Kind: TokOp, Text: op, Line: line, Col: col})
+		}
+	}
+	emitNL()
+	out = append(out, Tok{Kind: TokEOF, Line: lx.line, Col: lx.col})
+	return out, nil
+}
+
+func (lx *lexer) lexString(quote byte) (string, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		c, ok := lx.peekByte()
+		if !ok || c == '\n' {
+			return "", lx.errf("unterminated string literal")
+		}
+		lx.advance()
+		if c == quote {
+			return b.String(), nil
+		}
+		if c == '\\' {
+			e, ok := lx.peekByte()
+			if !ok {
+				return "", lx.errf("unterminated escape")
+			}
+			lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(e)
+			default:
+				return "", lx.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+}
+
+var twoByteOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "//": true,
+}
+
+var oneByteOps = map[byte]bool{
+	'+': true, '-': true, '*': true, '/': true, '%': true,
+	'<': true, '>': true, '=': true, '(': true, ')': true,
+	'[': true, ']': true, ',': true, ':': true,
+}
+
+func (lx *lexer) lexOp() (string, error) {
+	c, _ := lx.peekByte()
+	if lx.pos+1 < len(lx.src) {
+		two := lx.src[lx.pos : lx.pos+2]
+		if twoByteOps[two] {
+			lx.advance()
+			lx.advance()
+			return two, nil
+		}
+	}
+	if !oneByteOps[c] {
+		return "", lx.errf("unexpected character %q", c)
+	}
+	lx.advance()
+	return string(c), nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameCont(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9')
+}

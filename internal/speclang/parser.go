@@ -1,0 +1,547 @@
+package speclang
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// Parse compiles spec source into a search space.
+//
+// Statement forms:
+//
+//	setting NAME = <int literal | string literal | True | False>
+//	let NAME = <expression>                     (derived variable)
+//	constraint <hard|soft|correctness> NAME : <expression>
+//	NAME = <domain>                             (expression iterator)
+//
+// A domain is range(start, stop[, step]), an explicit list [e1, e2, ...],
+// one of the algebra calls union/intersect/difference/concat(d1, d2), a
+// scalar expression (a one-value iterator, as Figure 11's dim_vec `return
+// 1`), or any of these followed by `if <cond> else <domain>`.
+func Parse(src string) (*space.Space, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, space: space.New()}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	if err := p.space.Validate(); err != nil {
+		return nil, err
+	}
+	return p.space, nil
+}
+
+type parser struct {
+	toks  []Tok
+	pos   int
+	space *space.Space
+}
+
+func (p *parser) peek() Tok { return p.toks[p.pos] }
+func (p *parser) next() Tok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errAt(t Tok, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.Kind != TokOp || t.Text != op {
+		return p.errAt(t, "expected %q, found %s", op, t)
+	}
+	return nil
+}
+
+func (p *parser) parseProgram() error {
+	for {
+		for p.accept(TokNewline, "") {
+		}
+		if p.peek().Kind == TokEOF {
+			return nil
+		}
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+		t := p.peek()
+		switch t.Kind {
+		case TokNewline:
+			p.pos++
+		case TokEOF:
+		default:
+			return p.errAt(t, "expected end of statement, found %s", t)
+		}
+	}
+}
+
+func (p *parser) parseStatement() error {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "setting":
+			return p.parseSetting()
+		case "let":
+			return p.parseLet()
+		case "constraint":
+			return p.parseConstraint()
+		}
+		return p.errAt(t, "unexpected keyword %q at statement start", t.Text)
+	}
+	if t.Kind != TokName {
+		return p.errAt(t, "expected statement, found %s", t)
+	}
+	name := p.next().Text
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	dom, err := p.parseDomain()
+	if err != nil {
+		return err
+	}
+	p.space.DomainIter(name, dom)
+	return nil
+}
+
+func (p *parser) parseSetting() error {
+	p.next() // 'setting'
+	nameTok := p.next()
+	if nameTok.Kind != TokName {
+		return p.errAt(nameTok, "expected setting name, found %s", nameTok)
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	neg := false
+	if p.accept(TokOp, "-") {
+		neg = true
+	}
+	t := p.next()
+	var v expr.Value
+	switch {
+	case t.Kind == TokInt:
+		v = expr.IntVal(t.Int)
+		if neg {
+			v = expr.IntVal(-t.Int)
+		}
+	case t.Kind == TokString && !neg:
+		v = expr.StrVal(t.Str)
+	case t.Kind == TokKeyword && (t.Text == "True" || t.Text == "False") && !neg:
+		v = expr.BoolVal(t.Text == "True")
+	default:
+		return p.errAt(t, "expected literal setting value, found %s", t)
+	}
+	p.space.Setting(nameTok.Text, v)
+	return nil
+}
+
+func (p *parser) parseLet() error {
+	p.next() // 'let'
+	nameTok := p.next()
+	if nameTok.Kind != TokName {
+		return p.errAt(nameTok, "expected derived-variable name, found %s", nameTok)
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	p.space.Derived(nameTok.Text, e)
+	return nil
+}
+
+func (p *parser) parseConstraint() error {
+	p.next() // 'constraint'
+	classTok := p.next()
+	var class space.Class
+	switch classTok.Text {
+	case "hard":
+		class = space.Hard
+	case "soft":
+		class = space.Soft
+	case "correctness":
+		class = space.Correctness
+	default:
+		return p.errAt(classTok, "expected constraint class hard/soft/correctness, found %s", classTok)
+	}
+	nameTok := p.next()
+	if nameTok.Kind != TokName {
+		return p.errAt(nameTok, "expected constraint name, found %s", nameTok)
+	}
+	if err := p.expectOp(":"); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	p.space.Constrain(nameTok.Text, class, e)
+	return nil
+}
+
+// domainBuiltins are the callable domain constructors.
+var domainBuiltins = map[string]bool{
+	"range": true, "union": true, "intersect": true, "difference": true, "concat": true,
+}
+
+func (p *parser) parseDomain() (space.DomainExpr, error) {
+	atom, err := p.parseDomainAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "if") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(TokKeyword, "else") {
+			return nil, p.errAt(p.peek(), "expected 'else' in conditional domain")
+		}
+		els, err := p.parseDomain()
+		if err != nil {
+			return nil, err
+		}
+		return space.NewCond(cond, atom, els), nil
+	}
+	return atom, nil
+}
+
+// structuralDomain reports whether d is a real domain construct rather
+// than a scalar expression wrapped as a singleton. Parenthesized grouping
+// of domains backtracks on this distinction.
+func structuralDomain(d space.DomainExpr) bool {
+	switch d.(type) {
+	case *space.RangeDomain, *space.AlgebraDomain, *space.CondDomain:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseDomainAtom() (space.DomainExpr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "(" {
+		// Try a parenthesized domain: `(range(...) if c else [...]) if ...`.
+		// If the parenthesized content turns out to be a plain expression,
+		// backtrack and let the scalar path re-parse it (so `(a+b)*2`
+		// still works as a one-value iterator).
+		save := p.pos
+		p.next()
+		d, err := p.parseDomain()
+		if err == nil && structuralDomain(d) && p.accept(TokOp, ")") {
+			return d, nil
+		}
+		p.pos = save
+	}
+	if t.Kind == TokName && domainBuiltins[t.Text] && p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "(" {
+		name := p.next().Text
+		p.next() // '('
+		switch name {
+		case "range":
+			args, err := p.parseExprList(")")
+			if err != nil {
+				return nil, err
+			}
+			switch len(args) {
+			case 1:
+				return space.NewRange(expr.IntLit(0), args[0]), nil
+			case 2:
+				return space.NewRange(args[0], args[1]), nil
+			case 3:
+				return space.NewRangeStep(args[0], args[1], args[2]), nil
+			default:
+				return nil, p.errAt(t, "range() takes 1-3 arguments, got %d", len(args))
+			}
+		default:
+			l, err := p.parseDomain()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+			r, err := p.parseDomain()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			switch name {
+			case "union":
+				return space.Union(l, r), nil
+			case "intersect":
+				return space.Intersect(l, r), nil
+			case "difference":
+				return space.Difference(l, r), nil
+			default:
+				return space.Concat(l, r), nil
+			}
+		}
+	}
+	if t.Kind == TokOp && t.Text == "[" {
+		p.next()
+		elems, err := p.parseExprList("]")
+		if err != nil {
+			return nil, err
+		}
+		return space.NewList(elems...), nil
+	}
+	// Scalar expression: a one-value iterator. Parsed at or-level so a
+	// trailing `if` binds to the domain conditional.
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	return space.NewList(e), nil
+}
+
+// parseExprList parses a comma-separated expression list up to the closing
+// token (consumed).
+func (p *parser) parseExprList(closer string) ([]expr.Expr, error) {
+	var out []expr.Expr
+	if p.accept(TokOp, closer) {
+		return out, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.accept(TokOp, ",") {
+			if p.accept(TokOp, closer) { // tolerate trailing comma
+				return out, nil
+			}
+			continue
+		}
+		if p.accept(TokOp, closer) {
+			return out, nil
+		}
+		return nil, p.errAt(p.peek(), "expected %q or \",\", found %s", closer, p.peek())
+	}
+}
+
+// Expression grammar, Python precedence:
+// expr    := or ['if' or 'else' expr]
+// or      := and ('or' and)*
+// and     := not ('and' not)*
+// not     := 'not' not | cmp
+// cmp     := arith [(== != < <= > >=) arith]
+// arith   := term (('+'|'-') term)*
+// term    := unary (('*'|'/'|'//'|'%') unary)*
+// unary   := '-' unary | atom
+// atom    := INT | STRING | True | False | NAME | NAME '(' args ')' | '(' expr ')'
+
+func (p *parser) parseExpr() (expr.Expr, error) {
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "if") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(TokKeyword, "else") {
+			return nil, p.errAt(p.peek(), "expected 'else' in conditional expression")
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.If(cond, e, els), nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.accept(TokKeyword, "not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(e), nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]expr.Op{
+	"==": expr.OpEq, "!=": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	l, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp {
+		if op, ok := cmpOps[t.Text]; ok {
+			p.next()
+			r, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			// Reject chained comparisons explicitly: Python's a < b < c
+			// has conjunction semantics we do not implement.
+			if n := p.peek(); n.Kind == TokOp && cmpOps[n.Text] != 0 {
+				return nil, p.errAt(n, "chained comparisons are not supported; use 'and'")
+			}
+			return expr.Bin(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseArith() (expr.Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if t.Text == "+" {
+			l = expr.Add(l, r)
+		} else {
+			l = expr.Sub(l, r)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return l, nil
+		}
+		var op expr.Op
+		switch t.Text {
+		case "*":
+			op = expr.OpMul
+		case "/", "//":
+			op = expr.OpDiv
+		case "%":
+			op = expr.OpMod
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept(TokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negated integer literals so -2 is a literal, not a unary
+		// node (keeps Format(Parse(x)) stable).
+		if lit, ok := e.(*expr.Lit); ok && lit.V.K == expr.Int {
+			return expr.IntLit(-lit.V.I), nil
+		}
+		return expr.Neg(e), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (expr.Expr, error) {
+	t := p.next()
+	switch {
+	case t.Kind == TokInt:
+		return expr.IntLit(t.Int), nil
+	case t.Kind == TokString:
+		return expr.StrLit(t.Str), nil
+	case t.Kind == TokKeyword && t.Text == "True":
+		return expr.BoolLit(true), nil
+	case t.Kind == TokKeyword && t.Text == "False":
+		return expr.BoolLit(false), nil
+	case t.Kind == TokName:
+		if p.peek().Kind == TokOp && p.peek().Text == "(" {
+			if !expr.KnownBuiltin(t.Text) {
+				return nil, p.errAt(t, "unknown function %q (expression builtins: min, max, abs)", t.Text)
+			}
+			p.next() // '('
+			args, err := p.parseExprList(")")
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 || (t.Text == "abs" && len(args) != 1) {
+				return nil, p.errAt(t, "%s() has wrong argument count %d", t.Text, len(args))
+			}
+			return &expr.Call{Fn: t.Text, Args: args}, nil
+		}
+		return expr.NewRef(t.Text), nil
+	case t.Kind == TokOp && t.Text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errAt(t, "expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,316 @@
+package speclang
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+func mustParse(t *testing.T, src string) *space.Space {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return s
+}
+
+func countSurvivors(t *testing.T, s *space.Space) int64 {
+	t.Helper()
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := engine.CountSurvivors(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseBasicForms(t *testing.T) {
+	s := mustParse(t, `
+# Figure 1 forms
+setting N = 10
+r = range(N)
+fibonacci = [1, 1, 2, 3, 5, 8, 13]
+
+# dependent range (Figure 4 shape)
+blk = range(r + 1, N + 1, r + 1)
+
+let twice = blk * 2
+constraint soft too_big: twice > N
+`)
+	if got := len(s.Iterators()); got != 3 {
+		t.Fatalf("iterators = %d, want 3", got)
+	}
+	if got := len(s.DerivedVars()); got != 1 {
+		t.Fatalf("derived = %d, want 1", got)
+	}
+	if got := len(s.Constraints()); got != 1 {
+		t.Fatalf("constraints = %d, want 1", got)
+	}
+	if n := countSurvivors(t, s); n <= 0 {
+		t.Fatalf("survivors = %d", n)
+	}
+}
+
+func TestParseConditionalDomain(t *testing.T) {
+	for _, tc := range []struct {
+		setting string
+		want    int64
+	}{
+		{`setting precision = "double"`, 2}, // range(1,3) = {1,2}
+		{`setting precision = "single"`, 3}, // [1, 2, 4]
+	} {
+		s := mustParse(t, tc.setting+"\n"+
+			`dim_vec = range(1, 3) if precision == "double" else [1, 2, 4]`)
+		if n := countSurvivors(t, s); n != tc.want {
+			t.Errorf("%s: survivors = %d, want %d", tc.setting, n, tc.want)
+		}
+	}
+}
+
+func TestParseScalarIterator(t *testing.T) {
+	// Figure 11's dim_vec `return 1` form: a scalar expression is a
+	// one-value iterator.
+	s := mustParse(t, "setting n = 7\nx = n * 2 + 1\n")
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := engine.NewCompiled(prog)
+	tuples, _, err := engine.CollectTuples(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tuples, [][]int64{{15}}) {
+		t.Fatalf("tuples = %v, want [[15]]", tuples)
+	}
+}
+
+func TestParseIteratorAlgebra(t *testing.T) {
+	s := mustParse(t, `
+a = union(range(2, 5), [4, 7])
+b = intersect(range(0, 10), range(5, 15))
+c = difference(range(0, 6), [1, 3, 5])
+d = concat([9], [8])
+`)
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := engine.NewCompiled(prog)
+	tuples, _, err := engine.CollectTuples(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tuple: a=2 (union ascending), b=5, c=0, d=9 (concat order).
+	want := [][]int64{{2, 5, 0, 9}}
+	if !reflect.DeepEqual(tuples, want) {
+		t.Fatalf("first tuple = %v, want %v", tuples, want)
+	}
+	n := countSurvivors(t, s)
+	// |a|=4 ({2,3,4,7}), |b|=5, |c|=3 ({0,2,4}), |d|=2.
+	if n != 4*5*3*2 {
+		t.Fatalf("survivors = %d, want %d", n, 4*5*3*2)
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	s := mustParse(t, `
+setting base = 6
+x = range(0, 20)
+constraint soft c1: not (x % 2 == 0) or x < base and x >= 2
+let y = max(x, base, 3) - min(x, base) + abs(0 - x)
+constraint hard c2: (y if y > 0 else 0 - y) > 100
+`)
+	if n := countSurvivors(t, s); n <= 0 {
+		t.Fatalf("survivors = %d", n)
+	}
+}
+
+func TestLineContinuationAndComments(t *testing.T) {
+	s := mustParse(t, "setting n = 4  # inline comment\nx = range(0, \\\n    n)\ny = range(0, n +\n  1)\n")
+	// The second range spans a newline inside parentheses (implicit join).
+	if n := countSurvivors(t, s); n != 4*5 {
+		t.Fatalf("survivors = %d, want 20", n)
+	}
+	_ = s
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"x = ", "expected expression"},
+		{"setting x = y", "expected literal"},
+		{"constraint tight c: 1 > 0", "constraint class"},
+		{"constraint hard c 1 > 0", `expected ":"`},
+		{"x = range(1,2,3,4)", "range() takes 1-3 arguments"},
+		{"x = foo(1)", "unknown function"},
+		{"let x = 1 < 2 < 3", "chained comparisons"},
+		{"x = [1, 2\n", "expected"}, // unclosed bracket reaches end of input
+		{"x = 1 ? 2", "unexpected character"},
+		{`x = "abc`, "unterminated string"},
+		{"x = range(1, 5)\nx = range(2, 6)", "redeclared"},
+		{"let d = q + 1\nx = range(0, 3)", "undeclared name"},
+		{"x = 1 if 2", "expected 'else'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+// gemmSpecSource renders the full §IX GEMM space in the textual notation
+// for a given configuration — the paper's Figures 10-15 as one spec file.
+func gemmSpecSource(cfg gemm.Config) string {
+	dev := cfg.Device
+	maxBlocks := device.CapLookup(device.MaxBlocksPerMultiProcessorTable, dev.CudaMajor, dev.CudaMinor)
+	maxRegsThread := device.CapLookup(device.MaxRegistersPerThreadTable, dev.CudaMajor, dev.CudaMinor)
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		if len(args) == 0 {
+			b.WriteString(format + "\n") // literal line; may contain %
+			return
+		}
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	w("# GEMM search space (paper Figures 10-15), %s", cfg.Name())
+	w(`setting precision = %q`, cfg.Precision)
+	w(`setting arithmetic = %q`, cfg.Arithmetic)
+	w("setting trans_a = %d", cfg.TransA)
+	w("setting trans_b = %d", cfg.TransB)
+	w("setting max_threads_per_block = %d", dev.MaxThreadsPerBlock)
+	w("setting max_threads_dim_x = %d", dev.MaxThreadsDimX)
+	w("setting max_threads_dim_y = %d", dev.MaxThreadsDimY)
+	w("setting max_shared_mem_per_block = %d", dev.MaxSharedMemPerBlock)
+	w("setting warp_size = %d", dev.WarpSize)
+	w("setting max_regs_per_block = %d", dev.MaxRegsPerBlock)
+	w("setting max_registers_per_multi_processor = %d", dev.MaxRegistersPerMultiProcessor)
+	w("setting max_shmem_per_multi_processor = %d", dev.MaxShmemPerMultiProcessor)
+	w("setting float_size = %d", dev.FloatSize)
+	w("setting max_blocks_per_multi_processor = %d", maxBlocks)
+	w("setting max_registers_per_thread = %d", maxRegsThread)
+	w("setting min_threads_per_multi_processor = %d", cfg.MinThreadsPerMultiprocessor)
+	w("setting min_fmas_per_load = %d", cfg.MinFMAsPerLoad)
+	w("")
+	w("dim_m = range(1, max_threads_dim_x + 1)")
+	w("dim_n = range(1, max_threads_dim_y + 1)")
+	w("blk_m = range(dim_m, max_threads_dim_x + 1, dim_m)")
+	w("blk_n = range(dim_n, max_threads_dim_y + 1, dim_n)")
+	w("blk_k = range(1, min(max_threads_dim_x, max_threads_dim_y) + 1)")
+	w(`dim_vec = (range(1, 3) if arithmetic == "real" else [1]) if precision == "double" \`)
+	w(`    else (range(1, 5, 3) if arithmetic == "real" else range(1, 3))`)
+	w("vec_mul = [0] if dim_vec == 1 else range(0, 2)")
+	w("dim_m_a = range(1, blk_m / dim_vec + 1) if trans_a == 0 else range(1, blk_k / dim_vec + 1)")
+	w("dim_n_a = range(1, blk_k + 1) if trans_a == 0 else range(1, blk_m + 1)")
+	w("dim_m_b = range(1, blk_k / dim_vec + 1) if trans_b == 0 else range(1, blk_n / dim_vec + 1)")
+	w("dim_n_b = range(1, blk_n + 1) if trans_b == 0 else range(1, blk_k + 1)")
+	w("tex_a = range(0, 2)")
+	w("tex_b = range(0, 2)")
+	w("shmem_l1 = range(0, 2)")
+	w("shmem_banks = range(0, 2)")
+	w("")
+	w(`let prec_mul = 2 if precision == "double" else 1`)
+	w(`let cplx_mul = 2 if arithmetic == "complex" else 1`)
+	w(`let cplx4_mul = 4 if arithmetic == "complex" else 1`)
+	w("let threads_per_block = dim_m * dim_n")
+	w("let thr_m = blk_m / dim_m")
+	w("let thr_n = blk_n / dim_n")
+	w("let regs_per_thread = thr_m * thr_n * prec_mul * cplx_mul")
+	w("let regs_per_block = regs_per_thread * threads_per_block")
+	w("let shmem_per_block = blk_k * (blk_m + blk_n) * float_size * prec_mul * cplx_mul")
+	w("let max_blocks_by_regs = min(max_registers_per_multi_processor / regs_per_block, max_blocks_per_multi_processor)")
+	w("let max_threads_by_regs = max_blocks_by_regs * threads_per_block")
+	w("let max_blocks_by_shmem = min(max_shmem_per_multi_processor / shmem_per_block, max_blocks_per_multi_processor)")
+	w("let max_threads_by_shmem = max_blocks_by_shmem * threads_per_block")
+	w("let loads_per_thread = (thr_m + thr_n) * blk_k / dim_vec")
+	w("let loads_per_block = loads_per_thread * threads_per_block * cplx_mul")
+	w("let fmas_per_thread = thr_m * thr_n * blk_k")
+	w("let fmas_per_block = fmas_per_thread * threads_per_block * cplx4_mul")
+	w("")
+	w("constraint hard over_max_threads: threads_per_block > max_threads_per_block")
+	w("constraint hard over_max_regs_per_thread: regs_per_thread > max_registers_per_thread")
+	w("constraint hard over_max_regs_per_block: regs_per_block > max_regs_per_block")
+	w("constraint hard over_max_shmem: shmem_per_block > max_shared_mem_per_block")
+	w("constraint soft low_occupancy_regs: max_threads_by_regs < min_threads_per_multi_processor")
+	w("constraint soft low_occupancy_shmem: max_threads_by_shmem < min_threads_per_multi_processor")
+	w("constraint soft low_fmas: fmas_per_block / loads_per_block < min_fmas_per_load")
+	w("constraint soft partial_warps: threads_per_block % warp_size != 0")
+	w("constraint correctness cant_reshape_a1: dim_m_a * dim_n_a != threads_per_block")
+	w("constraint correctness cant_reshape_b1: dim_m_b * dim_n_b != threads_per_block")
+	w("constraint correctness cant_reshape_a2: \\")
+	w("    (trans_a == 0 and (blk_m % (dim_m_a * dim_vec) != 0 or blk_k % dim_n_a != 0)) or \\")
+	w("    (trans_a != 0 and (blk_k % (dim_m_a * dim_vec) != 0 or blk_m % dim_n_a != 0))")
+	w("constraint correctness cant_reshape_b2: \\")
+	w("    (trans_b == 0 and (blk_k % (dim_m_b * dim_vec) != 0 or blk_n % dim_n_b != 0)) or \\")
+	w("    (trans_b != 0 and (blk_n % (dim_m_b * dim_vec) != 0 or blk_k % dim_n_b != 0))")
+	return b.String()
+}
+
+// TestGEMMSpecMatchesBuilderAPI proves the textual front end and the Go
+// builder produce equivalent spaces: identical survivor sets for the same
+// configuration.
+func TestGEMMSpecMatchesBuilderAPI(t *testing.T) {
+	for _, kernel := range []string{"dgemm_nn", "cgemm_nt"} {
+		cfg, err := gemm.ByName(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := *device.TeslaK40c()
+		dev.MaxThreadsDimX = 20
+		dev.MaxThreadsDimY = 20
+		cfg.Device = &dev
+		cfg.MinThreadsPerMultiprocessor = 64
+
+		parsed := mustParse(t, gemmSpecSource(cfg))
+		builderSpace, err := gemm.Space(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		collect := func(s *space.Space) [][]int64 {
+			prog, err := plan.Compile(s, plan.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := engine.NewCompiled(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuples, _, err := engine.CollectTuples(c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tuples
+		}
+		a, b := collect(parsed), collect(builderSpace)
+		if len(a) == 0 {
+			t.Fatalf("%s: no survivors", kernel)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: spec-language space (%d survivors) != builder space (%d survivors)",
+				kernel, len(a), len(b))
+		}
+		t.Logf("%s: %d survivors from both front ends", kernel, len(a))
+	}
+}

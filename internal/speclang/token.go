@@ -1,0 +1,106 @@
+// Package speclang implements the textual form of the BEAST search-space
+// notation: a small, Python-flavoured declarative language that parses to
+// the same space.Space the Go builder API produces.
+//
+// The paper embeds its notation in Python itself and relies on decorators
+// and operator overloading (§V–§VIII); a Go host cannot hijack a general-
+// purpose language the same way, so this package supplies the concrete
+// syntax as a first-class front end. One statement per line, # comments,
+// and Python expression syntax (including `a if cond else b` and
+// and/or/not):
+//
+//	setting precision = "double"
+//	setting max_threads = 1024
+//
+//	dim_m  = range(1, max_threads + 1)
+//	blk_m  = range(dim_m, max_threads + 1, dim_m)
+//	dim_vec = range(1, 3) if precision == "double" else [1, 4]
+//
+//	let threads_per_block = dim_m * dim_n
+//
+//	constraint hard over_max_threads: threads_per_block > max_threads
+//	constraint soft partial_warps:    threads_per_block % 32 != 0
+//
+// Iterator algebra appears as the functions union(a, b), intersect(a, b),
+// difference(a, b), concat(a, b) over domain expressions. Deferred and
+// closure iterators, which embed arbitrary host logic, remain Go-API-only —
+// the textual front end covers the declarative (translatable) subset.
+package speclang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokName
+	TokInt
+	TokString
+	TokOp      // operator or punctuation, in Tok.Text
+	TokKeyword // setting, let, constraint, if, else, and, or, not
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "newline"
+	case TokName:
+		return "name"
+	case TokInt:
+		return "integer"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	case TokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Str  string
+	Line int
+	Col  int
+}
+
+func (t Tok) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "newline"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"setting": true, "let": true, "constraint": true,
+	"if": true, "else": true, "and": true, "or": true, "not": true,
+	"True": true, "False": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("speclang: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,168 @@
+// Package viz renders the search-space pruning process. The paper's
+// companion work (Haugen & Kurzak, VISSOFT'14 — reference [7]) visualizes
+// pruning with a radial, space-filling technique that shows how each
+// constraint removes candidates; this package provides an SVG rendering in
+// that style plus a plain-text funnel for terminals.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// classColor maps constraint classes to the figure's palette: hard
+// constraints in red hues, soft in orange, correctness in purple.
+func classColor(c space.Class) string {
+	switch c {
+	case space.Hard:
+		return "#d73027"
+	case space.Soft:
+		return "#fc8d59"
+	default:
+		return "#7b3294"
+	}
+}
+
+// RadialSVG renders concentric rings, one per constraint in evaluation
+// order (innermost ring first): each ring's coloured arc is the fraction
+// of checked candidates the constraint killed, and the remainder (light
+// gray) passed downward. The hub reports the survivor count.
+func RadialSVG(prog *plan.Program, st *engine.Stats) string {
+	n := len(prog.Constraints)
+	size := 640.0
+	cx, cy := size/2, size/2
+	hub := 56.0
+	ringW := (size/2 - hub - 60) / math.Max(float64(n), 1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		size, size, size, size)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.1f" y="20" font-family="Helvetica" font-size="14">Search-space pruning (radial view, after [7])</text>`+"\n", 16.0)
+
+	for i := 0; i < n; i++ {
+		c := prog.Constraints[i]
+		checks, kills := st.Checks[i], st.Kills[i]
+		r0 := hub + float64(i)*ringW
+		r1 := r0 + ringW*0.88
+		frac := 0.0
+		if checks > 0 {
+			frac = float64(kills) / float64(checks)
+		}
+		// Pass ring (background).
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#e0e0e0" stroke-width="%.1f"/>`+"\n",
+			cx, cy, (r0+r1)/2, r1-r0)
+		// Kill arc.
+		if frac > 0 {
+			b.WriteString(arcPath(cx, cy, (r0+r1)/2, r1-r0, frac, classColor(c.Class)))
+		}
+		// Label.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="Helvetica" font-size="10" fill="#333">%s %.1f%% (%d/%d)</text>`+"\n",
+			cx+hub*0.2, cy-r1+ringW*0.30, xmlEscape(c.Name), 100*frac, kills, checks)
+	}
+	// Hub.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#1a9850"/>`+"\n", cx, cy, hub*0.8)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="Helvetica" font-size="12" fill="white" text-anchor="middle">%d</text>`+"\n",
+		cx, cy-2, st.Survivors)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="Helvetica" font-size="9" fill="white" text-anchor="middle">survivors</text>`+"\n",
+		cx, cy+12)
+	// Legend.
+	legendY := size - 34
+	for i, cl := range []space.Class{space.Hard, space.Soft, space.Correctness} {
+		x := 16 + float64(i)*170
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", x, legendY, classColor(cl))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="Helvetica" font-size="11">%s constraints</text>`+"\n",
+			x+18, legendY+10, cl)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// arcPath draws a stroked arc covering frac of the full circle, starting
+// at 12 o'clock.
+func arcPath(cx, cy, r, width, frac float64, color string) string {
+	if frac >= 0.9999 {
+		return fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			cx, cy, r, color, width)
+	}
+	theta := frac * 2 * math.Pi
+	x0, y0 := cx+r*math.Sin(0), cy-r*math.Cos(0)
+	x1, y1 := cx+r*math.Sin(theta), cy-r*math.Cos(theta)
+	large := 0
+	if frac > 0.5 {
+		large = 1
+	}
+	return fmt.Sprintf(`<path d="M %.2f %.2f A %.2f %.2f 0 %d 1 %.2f %.2f" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x0, y0, r, r, large, x1, y1, color, width)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCIIFunnel renders a per-constraint kill bar chart for terminals: one
+// row per constraint in evaluation order, bar length proportional to the
+// kill fraction of that constraint's checks.
+func ASCIIFunnel(prog *plan.Program, st *engine.Stats) string {
+	const barW = 40
+	var b strings.Builder
+	b.WriteString("pruning funnel (evaluation order; bar = kill fraction of checks)\n")
+	for i, c := range prog.Constraints {
+		frac := 0.0
+		if st.Checks[i] > 0 {
+			frac = float64(st.Kills[i]) / float64(st.Checks[i])
+		}
+		filled := int(frac*barW + 0.5)
+		bar := strings.Repeat("#", filled) + strings.Repeat(".", barW-filled)
+		fmt.Fprintf(&b, "%-28s [%s] %6.2f%%  %d/%d [%s]\n",
+			c.Name, bar, 100*frac, st.Kills[i], st.Checks[i], c.Class)
+	}
+	fmt.Fprintf(&b, "%-28s survivors: %d   overall prune rate: %.4f%%\n",
+		"", st.Survivors, 100*st.PruneRate())
+	return b.String()
+}
+
+// FunnelSVG renders the pruning funnel as a horizontal bar chart: one bar
+// per constraint in evaluation order, split into killed (class colour) and
+// passed (gray) segments, with a log-scaled check count annotation. It is
+// the flat companion to RadialSVG for reports and READMEs.
+func FunnelSVG(prog *plan.Program, st *engine.Stats) string {
+	n := len(prog.Constraints)
+	rowH, barW, labelW := 26.0, 420.0, 230.0
+	width := labelW + barW + 150
+	height := float64(n)*rowH + 70
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	b.WriteString(`<text x="12" y="22" font-family="Helvetica" font-size="14">Constraint pruning funnel (evaluation order)</text>` + "\n")
+	y := 40.0
+	for i, c := range prog.Constraints {
+		frac := 0.0
+		if st.Checks[i] > 0 {
+			frac = float64(st.Kills[i]) / float64(st.Checks[i])
+		}
+		fmt.Fprintf(&b, `<text x="12" y="%.1f" font-family="Helvetica" font-size="11">%s</text>`+"\n",
+			y+14, xmlEscape(c.Name))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#e0e0e0"/>`+"\n",
+			labelW, y, barW, rowH-8)
+		if frac > 0 {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				labelW, y, barW*frac, rowH-8, classColor(c.Class))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="Helvetica" font-size="10" fill="#333">%.1f%% of %d</text>`+"\n",
+			labelW+barW+8, y+13, 100*frac, st.Checks[i])
+		y += rowH
+	}
+	fmt.Fprintf(&b, `<text x="12" y="%.1f" font-family="Helvetica" font-size="12">survivors: %d (%.4f%% of candidates pruned)</text>`+"\n",
+		y+18, st.Survivors, 100*st.PruneRate())
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/plan"
+)
+
+func gemmRun(t *testing.T) (*plan.Program, *engine.Stats) {
+	t.Helper()
+	cfg := gemm.Default()
+	cfg.Device = device.Scaled(device.TeslaK40c(), 32)
+	cfg.MinThreadsPerMultiprocessor = 64
+	s, err := gemm.Space(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := engine.NewCompiled(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := comp.Run(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, st
+}
+
+func TestRadialSVG(t *testing.T) {
+	prog, st := gemmRun(t)
+	svg := RadialSVG(prog, st)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One ring per constraint plus the hub.
+	if got := strings.Count(svg, "<circle"); got < len(prog.Constraints)+1 {
+		t.Errorf("only %d circles for %d constraints", got, len(prog.Constraints))
+	}
+	for _, c := range prog.Constraints {
+		if !strings.Contains(svg, c.Name) {
+			t.Errorf("SVG missing constraint %s", c.Name)
+		}
+	}
+	for _, color := range []string{"#d73027", "#fc8d59", "#7b3294"} {
+		if !strings.Contains(svg, color) {
+			t.Errorf("SVG missing class colour %s", color)
+		}
+	}
+	if !strings.Contains(svg, "survivors") {
+		t.Error("SVG missing survivor hub")
+	}
+}
+
+func TestRadialSVGFullKillRing(t *testing.T) {
+	// A constraint that kills 100% of its checks must render as a full
+	// circle, not a degenerate arc.
+	prog, st := gemmRun(t)
+	for i := range st.Kills {
+		st.Kills[i] = st.Checks[i]
+	}
+	svg := RadialSVG(prog, st)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestASCIIFunnel(t *testing.T) {
+	prog, st := gemmRun(t)
+	out := ASCIIFunnel(prog, st)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one row per constraint + summary.
+	if len(lines) != len(prog.Constraints)+2 {
+		t.Fatalf("funnel has %d lines, want %d", len(lines), len(prog.Constraints)+2)
+	}
+	if !strings.Contains(out, "partial_warps") || !strings.Contains(out, "survivors:") {
+		t.Errorf("funnel missing expected rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no bars drawn despite kills")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func TestFunnelSVG(t *testing.T) {
+	prog, st := gemmRun(t)
+	svg := FunnelSVG(prog, st)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, c := range prog.Constraints {
+		if !strings.Contains(svg, c.Name) {
+			t.Errorf("FunnelSVG missing constraint %s", c.Name)
+		}
+	}
+	if !strings.Contains(svg, "survivors:") {
+		t.Error("FunnelSVG missing summary line")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into FunnelSVG")
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt examples artifacts gensweep clean
+.PHONY: all build test test-short race bench vet fmt examples artifacts gensweep clean
 
 all: build test
 
@@ -15,6 +15,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the short suite plus vet: the parallel
+# enumeration gate.
+race: vet
+	$(GO) test -race -short ./...
 
 # Full benchmark run: every paper figure and table (see EXPERIMENTS.md).
 bench:

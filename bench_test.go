@@ -199,8 +199,8 @@ func BenchmarkGEMMSweep(b *testing.B) {
 	})
 }
 
-// BenchmarkGEMMSweepParallel is the §X.B multithreading claim: the level-0
-// loop split across workers.
+// BenchmarkGEMMSweepParallel is the §X.B multithreading claim: prefix-tile
+// scheduling across workers on the pruned GEMM sweep.
 func BenchmarkGEMMSweepParallel(b *testing.B) {
 	prog := gemmBenchProgram(b)
 	comp, err := engine.NewCompiled(prog)
@@ -214,6 +214,45 @@ func BenchmarkGEMMSweepParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkParallelScaling measures the dynamic scheduler on a deliberately
+// skewed space: a hard constraint kills three of the four outermost values
+// immediately, so almost all enumeration work hides under one outer value.
+// A static split of the outermost loop strands most workers on empty
+// shares; prefix tiling below the skewed level keeps them fed.
+func BenchmarkParallelScaling(b *testing.B) {
+	s := NewSpace()
+	s.IntList("o", 0, 1, 2, 3)
+	s.Range("a", Int(0), Int(120))
+	s.Range("bb", Int(0), Int(120))
+	s.Range("c", Int(0), Int(40))
+	// Kills every o > 0 subtree at the second level: ~1/4 of the outer
+	// values carry ~100% of the work.
+	s.Constrain("skew", Hard, And(Gt(Ref("o"), Int(0)), Ge(Ref("a"), Int(0))))
+	s.Constrain("inner", Soft,
+		Ne(Mod(Add(Add(Ref("a"), Ref("bb")), Ref("c")), Int(7)), Int(0)))
+	prog, err := Compile(s, PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := NewCompiled(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var visits int64
+			for i := 0; i < b.N; i++ {
+				st, err := comp.Run(RunOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				visits = st.TotalVisits()
+			}
+			b.ReportMetric(float64(visits)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mit/s")
 		})
 	}
 }

@@ -45,7 +45,8 @@ func main() {
 		tuples     = flag.Int64("tuples", 0, "print the first N surviving tuples")
 		engineName = flag.String("engine", "compiled", "backend: interp, vm, compiled")
 		protoName  = flag.String("protocol", "default", "loop protocol: default, while, range, xrange, repeat")
-		workers    = flag.Int("workers", 1, "parallel workers (compiled outer-loop split)")
+		workers    = flag.Int("workers", 1, "parallel enumeration workers (prefix-tile scheduling)")
+		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
 		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
 	)
 	flag.Parse()
@@ -86,7 +87,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := engine.Options{Protocol: proto, Workers: *workers}
+	opts := engine.Options{Protocol: proto, Workers: *workers, SplitDepth: *splitDepth}
 	if *tuples > 0 {
 		names := prog.IterNames()
 		fmt.Println(strings.Join(names, " "))
@@ -116,6 +117,9 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("engine=%s protocol=%s workers=%d elapsed=%s\n",
 		eng.Name(), proto, *workers, elapsed.Round(time.Millisecond))
+	if st.Tiles > 0 {
+		fmt.Printf("schedule: split-depth=%d tiles=%d\n", st.SplitDepth, st.Tiles)
+	}
 	fmt.Printf("visited=%d survivors=%d pruned=%.4f%% (%.2fM iterations/s)\n",
 		st.TotalVisits(), st.Survivors, 100*st.PruneRate(),
 		float64(st.TotalVisits())/elapsed.Seconds()/1e6)

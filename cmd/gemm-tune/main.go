@@ -41,6 +41,7 @@ func main() {
 		topK       = flag.Int("topk", 10, "report this many best kernels")
 		samples    = flag.Int("samples", 2000, "benchmark budget for -strategy sample")
 		workers    = flag.Int("workers", 8, "parallel enumeration workers")
+		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
 		seed       = flag.Int64("seed", 1, "random seed for sample/hillclimb")
 		funnel     = flag.Bool("funnel", false, "print the pruning funnel instead of tuning")
 		table1     = flag.Bool("table1", false, "reproduce Table I and exit")
@@ -96,7 +97,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		st, err := eng.Run(engine.Options{Workers: *workers})
+		st, err := eng.Run(engine.Options{Workers: *workers, SplitDepth: *splitDepth})
 		if err != nil {
 			fatal(err)
 		}
@@ -149,7 +150,7 @@ func main() {
 	}
 	var rep *autotune.Report
 	runOpts := autotune.Options{
-		TopK: *topK, Workers: *workers,
+		TopK: *topK, Workers: *workers, SplitDepth: *splitDepth,
 		Samples: *samples, Seed: *seed,
 	}
 	switch *strategy {

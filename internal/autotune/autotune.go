@@ -72,6 +72,9 @@ type Options struct {
 	TopK int
 	// Workers parallelizes enumeration (and hence objective calls).
 	Workers int
+	// SplitDepth overrides the parallel scheduler's prefix-tile depth
+	// (0 = automatic; see engine.Options.SplitDepth).
+	SplitDepth int
 	// Samples is the benchmark budget for RandomSample (default 1000).
 	Samples int
 	// Seed drives the random strategies (default 1).
@@ -194,7 +197,8 @@ func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
 		evals int64
 	)
 	st, err := eng.Run(engine.Options{
-		Workers: opts.Workers,
+		Workers:    opts.Workers,
+		SplitDepth: opts.SplitDepth,
 		OnTuple: func(tuple []int64) bool {
 			score := t.Objective(tuple)
 			cp := make([]int64, len(tuple))

@@ -185,6 +185,9 @@ func TestReportRendering(t *testing.T) {
 // ~80% of (modeled) peak. Uses a scaled device so the exhaustive sweep
 // stays fast; tile sizes up to 256 keep the optimum physically sensible.
 func TestTableIGEMMPeakFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive GEMM tune is too heavy for -short")
+	}
 	cfg := gemm.Default()
 	dev := device.Scaled(device.TeslaK40c(), 4) // dims 256
 	cfg.Device = dev
@@ -220,6 +223,9 @@ func TestTableIGEMMPeakFraction(t *testing.T) {
 // should land within a modest factor of the exhaustive optimum on the GEMM
 // space — the sanity check for using them at full scale.
 func TestStrategiesApproachExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive GEMM tune is too heavy for -short")
+	}
 	cfg := gemm.Default()
 	cfg.Device = device.Scaled(device.TeslaK40c(), 16) // dims 64
 	cfg.MinThreadsPerMultiprocessor = 128
@@ -266,6 +272,9 @@ func TestStrategiesApproachExhaustive(t *testing.T) {
 // configurations — their register files, resident-warp budgets, and
 // DP-unit ratios differ.
 func TestDevicePortability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive GEMM tune is too heavy for -short")
+	}
 	winners := map[string]string{}
 	for _, dev := range []*device.Properties{device.TeslaK40c(), device.FermiC2050()} {
 		cfg := gemm.Default()

@@ -492,27 +492,29 @@ type compiledState struct {
 	reg   []int64
 	stats *Stats
 	opts  Options
+	ctl   *runCtl
 	tuple []int64
-	// mute suppresses constraint-check counting (prelude deduplication
-	// across parallel workers).
-	mute bool
 }
 
-func (c *Compiled) runSeq(opts Options, outer []int64, countPrelude bool) (st *Stats, err error) {
-	defer recoverRunError(&err)
+func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
 	state := &compiledState{
 		c:     c,
 		reg:   make([]int64, c.prog.NumSlots()),
 		stats: NewStats(c.prog),
 		opts:  opts,
+		ctl:   ctl,
 		tuple: make([]int64, len(c.prog.Loops)),
 	}
 	for _, in := range c.initInts {
 		state.reg[in.slot] = in.v
 	}
-	state.mute = !countPrelude
+	return state
+}
+
+func (c *Compiled) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
+	defer recoverRunError(&err)
+	state := c.newState(opts, ctl)
 	ok, rejected := state.steps(c.prelude)
-	state.mute = false
 	if rejected || !ok {
 		return state.stats, nil
 	}
@@ -520,8 +522,51 @@ func (c *Compiled) runSeq(opts Options, outer []int64, countPrelude bool) (st *S
 		state.survivor()
 		return state.stats, nil
 	}
-	state.loop(0, outer)
+	state.loop(0)
 	return state.stats, nil
+}
+
+// newWorker implements backend: a tile worker over a private register file.
+// Prelude assignments run once per worker; prelude checks already passed
+// (and were counted) during tiling.
+func (c *Compiled) newWorker(opts Options, ctl *runCtl, depth int) (w tileWorker, err error) {
+	defer recoverRunError(&err)
+	state := c.newState(opts, ctl)
+	for i := range c.prelude {
+		st := &c.prelude[i]
+		if !st.check {
+			state.reg[st.slot] = st.fn(state.reg)
+		}
+	}
+	return &compiledWorker{state: state, depth: depth}, nil
+}
+
+type compiledWorker struct {
+	state *compiledState
+	depth int
+}
+
+func (w *compiledWorker) stats() *Stats { return w.state.stats }
+
+func (w *compiledWorker) runTile(prefix []int64) (err error) {
+	defer recoverRunError(&err)
+	s := w.state
+	for d, v := range prefix {
+		lp := &s.c.loops[d]
+		s.reg[lp.slot] = v
+		for i := range lp.steps {
+			st := &lp.steps[i]
+			if !st.check {
+				s.reg[st.slot] = st.fn(s.reg)
+			}
+		}
+	}
+	if w.depth == len(s.c.loops) {
+		s.survivor()
+		return nil
+	}
+	s.loop(w.depth)
+	return nil
 }
 
 func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
@@ -531,9 +576,7 @@ func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
 			s.reg[st.slot] = st.fn(s.reg)
 			continue
 		}
-		if !s.mute {
-			s.stats.Checks[st.statsID]++
-		}
+		s.stats.Checks[st.statsID]++
 		var kill bool
 		if st.deferredFn != nil {
 			kill = st.deferredFn(s.reg)
@@ -541,9 +584,7 @@ func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
 			kill = st.fn(s.reg) != 0
 		}
 		if kill {
-			if !s.mute {
-				s.stats.Kills[st.statsID]++
-			}
+			s.stats.Kills[st.statsID]++
 			return true, true
 		}
 	}
@@ -551,24 +592,31 @@ func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
 }
 
 func (s *compiledState) survivor() bool {
+	ok, last := s.ctl.claim()
+	if !ok {
+		return false
+	}
 	s.stats.Survivors++
 	if s.opts.OnTuple != nil {
 		for i, lp := range s.c.loops {
 			s.tuple[i] = s.reg[lp.slot]
 		}
 		if !s.opts.OnTuple(s.tuple) {
-			s.stats.Stopped = true
+			s.ctl.stop()
 			return false
 		}
 	}
-	if s.opts.Limit > 0 && s.stats.Survivors >= s.opts.Limit {
-		s.stats.Stopped = true
+	if last {
+		s.ctl.stop()
 		return false
 	}
 	return true
 }
 
 func (s *compiledState) body(d int, v int64) bool {
+	if s.ctl.cancelled() {
+		return false
+	}
 	lp := &s.c.loops[d]
 	s.reg[lp.slot] = v
 	s.stats.LoopVisits[d]++
@@ -582,18 +630,10 @@ func (s *compiledState) body(d int, v int64) bool {
 	if d == len(s.c.loops)-1 {
 		return s.survivor()
 	}
-	return s.loop(d+1, nil)
+	return s.loop(d + 1)
 }
 
-func (s *compiledState) loop(d int, outer []int64) bool {
-	if outer != nil {
-		for _, v := range outer {
-			if !s.body(d, v) {
-				return false
-			}
-		}
-		return true
-	}
+func (s *compiledState) loop(d int) bool {
 	lp := &s.c.loops[d]
 	if lp.rng != nil {
 		start, stop, step := lp.rng.span(s.reg)

@@ -266,6 +266,64 @@ func TestParallelFunnel(t *testing.T) {
 	}
 }
 
+// Parallel tiling over host iterators: the tiler materializes deferred and
+// closure domains at prefix depths and workers resume below them, so the
+// merged statistics must match the sequential run for every worker count
+// and every explicit split depth.
+func TestParallelHostIterators(t *testing.T) {
+	deferred := func() *space.Space {
+		s := space.New()
+		s.Range("a", expr.IntLit(1), expr.IntLit(7))
+		s.DeferredIter("d", []string{"a"}, func(args []expr.Value) space.DomainExpr {
+			if args[0].I%2 == 0 {
+				return nil // empty
+			}
+			return space.NewIntList(args[0].I, args[0].I*10, args[0].I*100)
+		})
+		s.Range("z", expr.IntLit(0), expr.IntLit(4))
+		s.Constrain("k", space.Soft,
+			expr.Ne(expr.Mod(expr.Add(expr.NewRef("d"), expr.NewRef("z")), expr.IntLit(3)), expr.IntLit(0)))
+		return s
+	}
+	closure := func() *space.Space {
+		s := space.New()
+		s.Range("a", expr.IntLit(2), expr.IntLit(8))
+		s.ClosureIter("div", []string{"a"}, func(args []expr.Value, yield func(int64) bool) {
+			for v := int64(1); v <= args[0].I; v++ {
+				if args[0].I%v == 0 && !yield(v) {
+					return
+				}
+			}
+		})
+		s.Range("z", expr.IntLit(0), expr.IntLit(3))
+		return s
+	}
+	for name, build := range map[string]func() *space.Space{"deferred": deferred, "closure": closure} {
+		prog := mustCompile(t, build())
+		for _, e := range allEngines(t, prog) {
+			seq, err := e.Run(Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, e.Name(), err)
+			}
+			for _, workers := range []int{1, 2, 3, 8} {
+				st, err := e.Run(Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, e.Name(), workers, err)
+				}
+				requireStatsEqual(t,
+					name+"/"+e.Name(), st, seq)
+			}
+			for depth := 1; depth <= len(prog.Loops); depth++ {
+				st, err := e.Run(Options{Workers: 4, SplitDepth: depth})
+				if err != nil {
+					t.Fatalf("%s/%s depth=%d: %v", name, e.Name(), depth, err)
+				}
+				requireStatsEqual(t, name+"/"+e.Name(), st, seq)
+			}
+		}
+	}
+}
+
 // The engines surface expression type errors as errors, not panics.
 func TestTypeErrorSurfacedAsError(t *testing.T) {
 	s := space.New()

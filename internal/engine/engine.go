@@ -3,12 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/expr"
-	"repro/internal/plan"
-	"repro/internal/space"
 )
 
 // Protocol selects the loop-control variant a backend uses for range
@@ -59,18 +55,33 @@ type Options struct {
 	// Protocol selects the loop-control variant (see Protocol).
 	Protocol Protocol
 
-	// Workers > 1 splits the outermost loop across goroutines. The
-	// outermost loop's domain must not depend on other iterators (always
-	// true for the planner's topological order). With multiple workers,
-	// OnTuple is invoked concurrently and must be safe for that.
+	// Workers > 1 enumerates in parallel: the driver materializes prefix
+	// tiles — surviving value tuples of the first SplitDepth loops, with
+	// hoisted constraints already applied — and workers pull tiles from a
+	// shared queue, so heavily pruned subtrees cannot strand the pool the
+	// way a static split of the outermost loop could. Enumeration order
+	// across workers is nondeterministic, but the merged Stats of a
+	// complete run are identical to a sequential run's.
 	Workers int
 
+	// SplitDepth overrides the parallel driver's tiling depth: tiles are
+	// value tuples of loops 0..SplitDepth-1. Zero (the default) lets the
+	// planner's cardinality analysis pick a depth that yields roughly
+	// 8 tiles per worker. Ignored when Workers <= 1.
+	SplitDepth int
+
 	// OnTuple, if non-nil, is called for every surviving tuple with the
-	// loop-variable values in nest order. The slice is reused; copy it to
-	// retain. Returning false stops enumeration.
+	// loop-variable values in nest order. The slice is reused and owned by
+	// the calling worker; copy it to retain. Returning false stops the
+	// whole run promptly (all workers observe the cancellation). With
+	// Workers > 1 the callback is invoked concurrently and must be safe
+	// for that.
 	OnTuple func(tuple []int64) bool
 
 	// Limit, if positive, stops enumeration after this many survivors.
+	// The countdown is shared across workers, so a parallel run reports
+	// exactly min(Limit, survivors) — never Workers x Limit. Which tuples
+	// fill the quota is scheduling-dependent when Workers > 1.
 	Limit int64
 }
 
@@ -80,16 +91,6 @@ type Engine interface {
 	Name() string
 	// Run enumerates the full space.
 	Run(opts Options) (*Stats, error)
-}
-
-// seqRunner is the per-backend sequential core: it enumerates with the
-// outermost loop optionally overridden by an explicit value list (the
-// parallel driver's work division). countPrelude is false for all but one
-// parallel worker so prelude constraint checks are counted exactly once;
-// prelude *assignments* always run (every worker needs the derived
-// values).
-type seqRunner interface {
-	runSeq(opts Options, outer []int64, countPrelude bool) (*Stats, error)
 }
 
 // recoverRunError converts expression-language panics into errors at the
@@ -103,85 +104,6 @@ func recoverRunError(err *error) {
 		}
 		panic(r)
 	}
-}
-
-// run is the shared Run implementation: sequential dispatch or parallel
-// split of the outermost loop.
-func run(prog *plan.Program, r seqRunner, opts Options) (*Stats, error) {
-	if opts.Workers <= 1 || len(prog.Loops) == 0 {
-		return r.runSeq(opts, nil, true)
-	}
-	outer, err := materializeOuter(prog)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.Workers
-	if workers > runtime.NumCPU()*4 {
-		workers = runtime.NumCPU() * 4
-	}
-	if workers > len(outer) {
-		workers = len(outer)
-	}
-	if workers <= 1 {
-		return r.runSeq(opts, nil, true)
-	}
-	// Round-robin assignment balances monotone-cost domains (small outer
-	// values open small inner spaces) better than contiguous chunks.
-	chunks := make([][]int64, workers)
-	for i, v := range outer {
-		chunks[i%workers] = append(chunks[i%workers], v)
-	}
-	total := NewStats(prog)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for ci, chunk := range chunks {
-		wg.Add(1)
-		go func(vals []int64, countPrelude bool) {
-			defer wg.Done()
-			st, err := r.runSeq(opts, vals, countPrelude)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if st != nil {
-				total.Merge(st)
-			}
-		}(chunk, ci == 0)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return total, nil
-}
-
-// materializeOuter evaluates the outermost loop's domain against the
-// settings-only environment.
-func materializeOuter(prog *plan.Program) ([]int64, error) {
-	lp := prog.Loops[0]
-	env := prog.NewEnv()
-	// Prelude assignments may feed the outer domain (derived variables of
-	// settings survive folding only when folding is disabled).
-	for _, st := range prog.Prelude {
-		if st.Kind == plan.AssignStep {
-			env.Slots[st.Slot] = st.Expr.Eval(env)
-		}
-	}
-	var out []int64
-	switch lp.Iter.Kind {
-	case space.ExprIter:
-		out = space.Materialize(lp.Domain, env)
-	default:
-		lp.Iter.Iterate(env, lp.ArgSlots, func(v int64) bool {
-			out = append(out, v)
-			return true
-		})
-	}
-	return out, nil
 }
 
 // CountSurvivors is a convenience wrapper: sequential enumeration counting

@@ -175,14 +175,40 @@ func TestFuzzCrossEngine(t *testing.T) {
 			t.Fatalf("trial %d: hoisting changed survivors (%d vs %d)\nspace:\n%s",
 				trial, len(gotN), len(want), prog.Describe())
 		}
-		// Parallel split preserves counts.
-		stPar, err := comp.Run(Options{Workers: 3})
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+		// Parallel tiling preserves the full statistics — visits, checks,
+		// kills, survivors — for every backend and worker count, and at
+		// explicit split depths as well as the automatic one.
+		for _, e := range []Engine{NewInterp(prog), NewVM(prog), comp} {
+			for _, workers := range []int{2, 3, 8} {
+				assertParallelAgrees(t, e, wantStats, Options{Workers: workers},
+					fmt.Sprintf("trial %d %s workers=%d", trial, e.Name(), workers), prog)
+			}
 		}
-		if stPar.Survivors != wantStats.Survivors || !reflect.DeepEqual(stPar.Kills, wantStats.Kills) {
-			t.Fatalf("trial %d: parallel stats diverge\nspace:\n%s", trial, prog.Describe())
+		for depth := 1; depth <= len(prog.Loops); depth++ {
+			assertParallelAgrees(t, comp, wantStats, Options{Workers: 4, SplitDepth: depth},
+				fmt.Sprintf("trial %d compiled split-depth=%d", trial, depth), prog)
 		}
+	}
+}
+
+// assertParallelAgrees runs e with opts (Workers > 1) and requires the
+// merged statistics to match the sequential baseline exactly.
+func assertParallelAgrees(t *testing.T, e Engine, want *Stats, opts Options, label string, prog *plan.Program) {
+	t.Helper()
+	st, err := e.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if st.Survivors != want.Survivors ||
+		!reflect.DeepEqual(st.LoopVisits, want.LoopVisits) ||
+		!reflect.DeepEqual(st.Checks, want.Checks) ||
+		!reflect.DeepEqual(st.Kills, want.Kills) {
+		t.Fatalf("%s: parallel stats diverge\nsurvivors %d want %d\nvisits %v want %v\nchecks %v want %v\nkills %v want %v\nspace:\n%s",
+			label, st.Survivors, want.Survivors, st.LoopVisits, want.LoopVisits,
+			st.Checks, want.Checks, st.Kills, want.Kills, prog.Describe())
+	}
+	if st.Stopped {
+		t.Fatalf("%s: complete run reported Stopped", label)
 	}
 }
 

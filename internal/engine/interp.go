@@ -258,28 +258,29 @@ type interpState struct {
 	env   ienv
 	stats *Stats
 	opts  Options
+	ctl   *runCtl
 	tuple []int64
-	// mute suppresses constraint-check counting (prelude deduplication
-	// across parallel workers); assignments and rejection still apply.
-	mute bool
 }
 
-func (in *Interp) runSeq(opts Options, outer []int64, countPrelude bool) (st *Stats, err error) {
-	defer recoverRunError(&err)
+func (in *Interp) newState(opts Options, ctl *runCtl) *interpState {
 	env := make(ienv, in.prog.NumSlots()+8)
 	for _, s := range in.prog.Settings {
 		env[s.Name] = s.V
 	}
-	state := &interpState{
+	return &interpState{
 		in:    in,
 		env:   env,
 		stats: NewStats(in.prog),
 		opts:  opts,
+		ctl:   ctl,
 		tuple: make([]int64, len(in.prog.Loops)),
 	}
-	state.mute = !countPrelude
+}
+
+func (in *Interp) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
+	defer recoverRunError(&err)
+	state := in.newState(opts, ctl)
 	ok, rejected := state.steps(in.prog.Prelude)
-	state.mute = false
 	if rejected || !ok {
 		return state.stats, nil
 	}
@@ -287,8 +288,52 @@ func (in *Interp) runSeq(opts Options, outer []int64, countPrelude bool) (st *St
 		state.survivor()
 		return state.stats, nil
 	}
-	state.loop(0, outer)
+	state.loop(0)
 	return state.stats, nil
+}
+
+// newWorker implements backend: a tile worker with its own associative
+// environment and Stats. Prelude assignments run once per worker; prelude
+// checks already passed (and were counted) during tiling.
+func (in *Interp) newWorker(opts Options, ctl *runCtl, depth int) (w tileWorker, err error) {
+	defer recoverRunError(&err)
+	state := in.newState(opts, ctl)
+	for i := range in.prog.Prelude {
+		st := &in.prog.Prelude[i]
+		if st.Kind == plan.AssignStep {
+			state.env[st.Name] = evalMap(st.Expr, state.env)
+		}
+	}
+	return &interpWorker{state: state, depth: depth}, nil
+}
+
+type interpWorker struct {
+	state *interpState
+	depth int
+}
+
+func (w *interpWorker) stats() *Stats { return w.state.stats }
+
+func (w *interpWorker) runTile(prefix []int64) (err error) {
+	defer recoverRunError(&err)
+	s := w.state
+	prog := s.in.prog
+	for d, v := range prefix {
+		lp := prog.Loops[d]
+		s.env[lp.Iter.Name] = expr.IntVal(v)
+		for i := range lp.Steps {
+			st := &lp.Steps[i]
+			if st.Kind == plan.AssignStep {
+				s.env[st.Name] = evalMap(st.Expr, s.env)
+			}
+		}
+	}
+	if w.depth == len(prog.Loops) {
+		s.survivor()
+		return nil
+	}
+	s.loop(w.depth)
+	return nil
 }
 
 // steps executes a step list; it reports (continueEnumeration,
@@ -300,9 +345,7 @@ func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 			s.env[st.Name] = evalMap(st.Expr, s.env)
 			continue
 		}
-		if !s.mute {
-			s.stats.Checks[st.StatsID]++
-		}
+		s.stats.Checks[st.StatsID]++
 		var kill bool
 		if st.Constraint.Deferred() {
 			args := make([]expr.Value, len(st.Constraint.DeclaredDeps))
@@ -314,9 +357,7 @@ func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 			kill = evalMap(st.Expr, s.env).Truthy()
 		}
 		if kill {
-			if !s.mute {
-				s.stats.Kills[st.StatsID]++
-			}
+			s.stats.Kills[st.StatsID]++
 			return true, true
 		}
 	}
@@ -325,18 +366,22 @@ func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 
 // survivor records a passing tuple; it reports whether to continue.
 func (s *interpState) survivor() bool {
+	ok, last := s.ctl.claim()
+	if !ok {
+		return false
+	}
 	s.stats.Survivors++
 	if s.opts.OnTuple != nil {
 		for i, lp := range s.in.prog.Loops {
 			s.tuple[i] = s.env[lp.Iter.Name].I
 		}
 		if !s.opts.OnTuple(s.tuple) {
-			s.stats.Stopped = true
+			s.ctl.stop()
 			return false
 		}
 	}
-	if s.opts.Limit > 0 && s.stats.Survivors >= s.opts.Limit {
-		s.stats.Stopped = true
+	if last {
+		s.ctl.stop()
 		return false
 	}
 	return true
@@ -345,6 +390,9 @@ func (s *interpState) survivor() bool {
 // body binds value v at depth d, runs the hoisted steps, and recurses.
 // It reports whether to continue iterating at depth d.
 func (s *interpState) body(d int, v int64) bool {
+	if s.ctl.cancelled() {
+		return false
+	}
 	lp := s.in.prog.Loops[d]
 	s.env[lp.Iter.Name] = expr.IntVal(v)
 	s.stats.LoopVisits[d]++
@@ -358,20 +406,11 @@ func (s *interpState) body(d int, v int64) bool {
 	if d == len(s.in.prog.Loops)-1 {
 		return s.survivor()
 	}
-	return s.loop(d+1, nil)
+	return s.loop(d + 1)
 }
 
-// loop enumerates depth d; outer overrides the domain at depth 0 when the
-// parallel driver splits the space. It reports whether to continue.
-func (s *interpState) loop(d int, outer []int64) bool {
-	if outer != nil {
-		for _, v := range outer {
-			if !s.body(d, v) {
-				return false
-			}
-		}
-		return true
-	}
+// loop enumerates depth d; it reports whether to continue.
+func (s *interpState) loop(d int) bool {
 	lp := s.in.prog.Loops[d]
 	if lp.Iter.Kind != space.ExprIter {
 		args := make([]expr.Value, len(lp.Iter.DeclaredDeps))

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// tileTarget is the tiles-per-worker ratio the auto split-depth policy aims
+// for: enough surplus tiles that a worker stuck in a heavy subtree never
+// leaves the others idle, but few enough that tile materialization stays a
+// negligible fraction of the enumeration.
+const tileTarget = 8
+
+// runCtl is the control state one enumeration run shares across workers: a
+// cancellation token plus the survivor countdown that makes Options.Limit
+// exact under concurrency. Sequential runs use the same object so the
+// survivor path is identical in both modes.
+type runCtl struct {
+	cancel  atomic.Bool
+	stopped atomic.Bool
+	// remaining counts down Limit survivor slots; claim() decides who may
+	// record a survivor, so totals can never exceed the limit no matter how
+	// many workers race.
+	remaining atomic.Int64
+	limited   bool
+	// poll gates the cooperative cancellation check: only parallel runs pay
+	// the atomic load in the loop body (sequential early stop propagates
+	// through return values as before).
+	poll bool
+}
+
+func newRunCtl(limit int64, parallel bool) *runCtl {
+	c := &runCtl{limited: limit > 0, poll: parallel}
+	if c.limited {
+		c.remaining.Store(limit)
+	}
+	return c
+}
+
+// cancelled reports whether the run has been stopped or aborted; loop bodies
+// poll it so a worker abandons its subtree promptly.
+func (c *runCtl) cancelled() bool { return c.poll && c.cancel.Load() }
+
+// stop ends the run early with Stopped semantics (limit reached or a
+// callback returned false).
+func (c *runCtl) stop() {
+	c.stopped.Store(true)
+	c.cancel.Store(true)
+}
+
+// abort ends the run without Stopped semantics (a worker failed).
+func (c *runCtl) abort() { c.cancel.Store(true) }
+
+// claim reserves one survivor slot. ok reports whether the caller may record
+// the survivor; last reports that it took the final slot and must stop the
+// run. Unlimited runs always claim successfully.
+func (c *runCtl) claim() (ok, last bool) {
+	if !c.limited {
+		return true, false
+	}
+	n := c.remaining.Add(-1)
+	if n < 0 {
+		// Lost the race past the limit: someone else took the last slot.
+		c.cancel.Store(true)
+		return false, false
+	}
+	return true, n == 0
+}
+
+// backend is the per-backend execution surface the shared driver schedules.
+type backend interface {
+	// runFull enumerates the whole space on the calling goroutine.
+	runFull(opts Options, ctl *runCtl) (*Stats, error)
+	// newWorker returns a worker that resumes enumeration from fixed
+	// prefixes of the first depth loop variables. depth == len(Loops) means
+	// tiles are complete tuples and runTile only records the survivor.
+	newWorker(opts Options, ctl *runCtl, depth int) (tileWorker, error)
+}
+
+// tileWorker is one worker's session: it keeps its backend state (register
+// file, bytecode, environment) and its private Stats across tiles.
+type tileWorker interface {
+	// runTile enumerates the subtree under one prefix tile. Constraint
+	// checks at prefix depths were already applied (and counted) while
+	// tiling; the worker replays only the prefix assignments.
+	runTile(prefix []int64) error
+	// stats returns the worker's private counters, merged once by the
+	// driver after the pool drains.
+	stats() *Stats
+}
+
+// tileSet is a materialized set of loop-variable prefixes, stored flat
+// (stride = depth) to keep large tilings cache- and GC-friendly.
+type tileSet struct {
+	vals  []int64
+	depth int
+	n     int
+}
+
+func (t *tileSet) at(i int) []int64 { return t.vals[i*t.depth : (i+1)*t.depth] }
+
+// run is the shared Run implementation behind every backend's Run method:
+// sequential dispatch, or prefix-tile generation plus a self-scheduling
+// worker pool.
+func run(prog *plan.Program, b backend, opts Options) (*Stats, error) {
+	if opts.Workers <= 1 || len(prog.Loops) == 0 {
+		ctl := newRunCtl(opts.Limit, false)
+		st, err := b.runFull(opts, ctl)
+		if err != nil {
+			return nil, err
+		}
+		st.Stopped = ctl.stopped.Load()
+		return st, nil
+	}
+
+	workers := opts.Workers
+	if cap := max(8, 4*runtime.NumCPU()); workers > cap {
+		workers = cap
+	}
+	total, tiles, err := genTiles(prog, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	total.SplitDepth, total.Tiles = tiles.depth, tiles.n
+	if tiles.n == 0 {
+		// Prelude rejection or an empty prefix level: the tiling already
+		// counted everything there was to count.
+		return total, nil
+	}
+	workers = min(workers, tiles.n)
+
+	ctl := newRunCtl(opts.Limit, true)
+	// Self-scheduling over the tile array: workers grab chunks through an
+	// atomic cursor, so a worker that lands in a heavily pruned (cheap)
+	// region immediately comes back for more while a worker stuck in a
+	// dense subtree keeps the rest of the pool fed. Chunking bounds cursor
+	// traffic on very fine tilings without hurting balance on coarse ones.
+	chunk := int64(max(1, tiles.n/(workers*2*tileTarget)))
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		wstats = make([]*Stats, workers)
+		werrs  = make([]error, workers)
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := b.newWorker(opts, ctl, tiles.depth)
+			if err != nil {
+				werrs[wi] = err
+				ctl.abort()
+				return
+			}
+			for !ctl.cancelled() {
+				lo := cursor.Add(chunk) - chunk
+				if lo >= int64(tiles.n) {
+					break
+				}
+				hi := min(lo+chunk, int64(tiles.n))
+				for t := lo; t < hi && !ctl.cancelled(); t++ {
+					if err := w.runTile(tiles.at(int(t))); err != nil {
+						werrs[wi] = err
+						ctl.abort()
+						return
+					}
+				}
+			}
+			wstats[wi] = w.stats()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range wstats {
+		if st != nil {
+			total.Merge(st)
+		}
+	}
+	total.Stopped = ctl.stopped.Load()
+	return total, nil
+}
+
+// genTiles runs the prelude and materializes prefix tiles for the first K
+// loop levels, applying (and counting) every hoisted constraint along the
+// way — so tiles are exactly the surviving prefixes, and the skew the
+// constraints induce is flattened before work is handed out. The returned
+// Stats carry the prelude and prefix-level counters; workers count only
+// depths >= K, so the merged totals match a sequential run.
+//
+// K is Options.SplitDepth when positive; otherwise the planner's estimate
+// (plan.ChooseSplitDepth) targeting tileTarget*workers tiles, extended past
+// the estimate only while the realized tile count is still short of the
+// worker count, and cut short once the target is comfortably met.
+func genTiles(prog *plan.Program, opts Options, workers int) (st *Stats, tiles *tileSet, err error) {
+	defer recoverRunError(&err)
+	st = NewStats(prog)
+	env := prog.NewEnv()
+	for i := range prog.Prelude {
+		step := &prog.Prelude[i]
+		if step.Kind == plan.AssignStep {
+			env.Slots[step.Slot] = step.Expr.Eval(env)
+			continue
+		}
+		st.Checks[step.StatsID]++
+		if rejectStep(step, env) {
+			st.Kills[step.StatsID]++
+			return st, &tileSet{}, nil
+		}
+	}
+	n := len(prog.Loops)
+	target := tileTarget * workers
+	auto := opts.SplitDepth <= 0
+	goalK := min(opts.SplitDepth, n)
+	if auto {
+		goalK = plan.ChooseSplitDepth(prog, target)
+	}
+	tiles = &tileSet{n: 1} // the single empty prefix
+	for d := 0; d < n; d++ {
+		if auto {
+			if tiles.n >= target {
+				break // enough parallel slack; deeper tiling is pure overhead
+			}
+			if d >= goalK && tiles.n >= workers {
+				break // planner's depth reached and every worker has a tile
+			}
+		} else if d >= goalK {
+			break
+		}
+		tiles = expandTiles(prog, env, tiles, d, st)
+		if tiles.n == 0 {
+			break
+		}
+	}
+	return st, tiles, nil
+}
+
+// expandTiles extends every surviving prefix in `in` by one level: it binds
+// the prefix, replays its assignments, enumerates the level-d domain, and
+// applies the steps hoisted to depth d. Counters land in st exactly as the
+// sequential enumerators would count them.
+func expandTiles(prog *plan.Program, env *expr.Env, in *tileSet, d int, st *Stats) *tileSet {
+	lp := prog.Loops[d]
+	out := &tileSet{depth: d + 1}
+	var buf []int64
+	for t := 0; t < in.n; t++ {
+		prefix := in.vals[t*in.depth : (t+1)*in.depth]
+		replayPrefix(prog, env, prefix)
+		// Materialize this level's values before running any steps: step
+		// assignments mutate env slots a lazily evaluated domain (list
+		// elements, conditional bounds) might read.
+		buf = buf[:0]
+		collect := func(v int64) bool { buf = append(buf, v); return true }
+		if lp.Iter.Kind == space.ExprIter {
+			lp.Domain.Iterate(env, collect)
+		} else {
+			lp.Iter.Iterate(env, lp.ArgSlots, collect)
+		}
+		for _, v := range buf {
+			env.Slots[lp.Slot] = expr.IntVal(v)
+			st.LoopVisits[d]++
+			if runTileSteps(lp.Steps, env, st) {
+				out.vals = append(out.vals, prefix...)
+				out.vals = append(out.vals, v)
+				out.n++
+			}
+		}
+	}
+	return out
+}
+
+// replayPrefix rebinds a prefix's loop variables and re-runs the assignment
+// steps hoisted to those depths, so env is exactly the state a sequential
+// enumerator would have on entering the next level. Checks are skipped:
+// they already passed when the prefix survived tiling.
+func replayPrefix(prog *plan.Program, env *expr.Env, prefix []int64) {
+	for d, v := range prefix {
+		lp := prog.Loops[d]
+		env.Slots[lp.Slot] = expr.IntVal(v)
+		for i := range lp.Steps {
+			step := &lp.Steps[i]
+			if step.Kind == plan.AssignStep {
+				env.Slots[step.Slot] = step.Expr.Eval(env)
+			}
+		}
+	}
+}
+
+// runTileSteps executes one level's hoisted steps during tiling; it reports
+// whether the prefix survives.
+func runTileSteps(steps []plan.Step, env *expr.Env, st *Stats) bool {
+	for i := range steps {
+		step := &steps[i]
+		if step.Kind == plan.AssignStep {
+			env.Slots[step.Slot] = step.Expr.Eval(env)
+			continue
+		}
+		st.Checks[step.StatsID]++
+		if rejectStep(step, env) {
+			st.Kills[step.StatsID]++
+			return false
+		}
+	}
+	return true
+}
+
+// rejectStep evaluates one check step against the boxed environment.
+func rejectStep(step *plan.Step, env *expr.Env) bool {
+	if step.Constraint.Deferred() {
+		return step.Constraint.Rejects(env, step.ArgSlots)
+	}
+	return step.Expr.Eval(env).Truthy()
+}

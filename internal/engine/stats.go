@@ -11,8 +11,10 @@
 //   - Compiled: closure compilation to native Go code, the stand-in for the
 //     generated standard C of Figure 19;
 //
-// plus a multithreaded driver that splits the outermost loop across workers,
-// the parallelization §X.B says the level sets make possible at L0.
+// plus a multithreaded driver that tiles the first K loop levels into
+// prefix tasks and lets workers pull them dynamically — the parallelization
+// §X.B says the level sets make possible, generalized past L0 so pruning
+// skew cannot strand the pool.
 //
 // All backends consume the same plan.Program and are required (and
 // property-tested) to enumerate identical surviving tuples with identical
@@ -45,8 +47,17 @@ type Stats struct {
 	Survivors int64
 
 	// Stopped reports that enumeration ended early (callback returned
-	// false or the survivor limit was reached).
+	// false or the survivor limit was reached). It is set once by the
+	// driver from the shared cancellation token, so it is deterministic
+	// even under concurrency.
 	Stopped bool
+
+	// SplitDepth and Tiles describe the parallel schedule that produced
+	// this run: tiles were value prefixes of the first SplitDepth loops.
+	// Both are zero for sequential runs. Driver metadata, not counters:
+	// Merge leaves them alone.
+	SplitDepth int
+	Tiles      int
 }
 
 // NewStats returns zeroed counters sized for prog.

@@ -27,8 +27,8 @@ type VM struct {
 }
 
 // NewVM returns a bytecode engine for prog. Compilation happens per run
-// (it is linear in program size and lets the parallel driver specialize the
-// outermost loop per worker).
+// (it is linear in program size and lets the parallel driver specialize
+// each worker's code to resume from a fixed loop-variable prefix).
 func NewVM(prog *plan.Program) *VM { return &VM{prog: prog} }
 
 // Name implements Engine.
@@ -105,30 +105,64 @@ type vmAssembler struct {
 	protocol Protocol
 	// temp register bases
 	stopT, stepT, posT []int32
-	// mutePrelude emits prelude checks without stats counting (parallel
-	// prelude deduplication).
-	mutePrelude bool
-	err         error
+	err                error
 }
 
-func (vm *VM) runSeq(opts Options, outer []int64, countPrelude bool) (st *Stats, err error) {
+func (vm *VM) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
 	defer recoverRunError(&err)
 	if cerr := checkProgramStrings(vm.prog); cerr != nil {
 		return nil, fmt.Errorf("vm: %w", cerr)
 	}
-	code, cerr := vm.compile(opts.Protocol, outer, countPrelude)
+	code, cerr := vm.compile(opts.Protocol, 0, false)
 	if cerr != nil {
 		return nil, cerr
 	}
-	stats := NewStats(vm.prog)
-	vm.exec(code, stats, opts)
-	return stats, nil
+	x := newVMExec(vm, code, opts, ctl)
+	x.run()
+	return x.stats, nil
 }
 
-// compile translates the planned program into bytecode. When outer is
-// non-nil the outermost loop iterates that explicit value list (the parallel
-// driver's share) through the list-loop opcodes.
-func (vm *VM) compile(protocol Protocol, outer []int64, countPrelude bool) (*vmCode, error) {
+// newWorker implements backend: it compiles a tile-specialized instruction
+// stream — prelude assignments, the assignment steps of the prefix depths,
+// then the nest from the split depth down — and keeps one register file and
+// operand stack across tiles. runTile pokes the prefix values into the loop
+// variable registers and re-executes the stream.
+func (vm *VM) newWorker(opts Options, ctl *runCtl, depth int) (w tileWorker, err error) {
+	defer recoverRunError(&err)
+	if cerr := checkProgramStrings(vm.prog); cerr != nil {
+		return nil, fmt.Errorf("vm: %w", cerr)
+	}
+	code, cerr := vm.compile(opts.Protocol, depth, true)
+	if cerr != nil {
+		return nil, cerr
+	}
+	return &vmWorker{x: newVMExec(vm, code, opts, ctl)}, nil
+}
+
+type vmWorker struct {
+	x *vmExec
+}
+
+func (w *vmWorker) stats() *Stats { return w.x.stats }
+
+func (w *vmWorker) runTile(prefix []int64) (err error) {
+	defer recoverRunError(&err)
+	x := w.x
+	for d, v := range prefix {
+		x.reg[x.code.tupleSlots[d]] = v
+	}
+	x.stk = x.stk[:0]
+	x.run()
+	return nil
+}
+
+// compile translates the planned program into bytecode. In tile mode the
+// stream is a worker body: prelude assignments (checks were applied during
+// tiling), the assignment steps hoisted to the prefixDepth outermost loops
+// (their variables are set by runTile before execution), then the loop nest
+// from prefixDepth inward — or just the survivor bookkeeping when the
+// prefix is a complete tuple.
+func (vm *VM) compile(protocol Protocol, prefixDepth int, tile bool) (*vmCode, error) {
 	prog := vm.prog
 	n := len(prog.Loops)
 	base := int32(prog.NumSlots())
@@ -150,12 +184,31 @@ func (vm *VM) compile(protocol Protocol, outer []int64, countPrelude bool) (*vmC
 	for _, lp := range prog.Loops {
 		a.code.tupleSlots = append(a.code.tupleSlots, int32(lp.Slot))
 	}
-	// Setting initialization is done by exec from the program directly.
-	a.mutePrelude = !countPrelude
+	// Setting initialization is done by the executor from the program
+	// directly.
+	if tile {
+		for _, st := range prog.Prelude {
+			a.emitAssign(st)
+		}
+		for d := 0; d < prefixDepth; d++ {
+			for _, st := range prog.Loops[d].Steps {
+				a.emitAssign(st)
+			}
+		}
+		if prefixDepth == n {
+			a.emit(instr{op: opSurvive})
+		} else {
+			a.emitLoop(prefixDepth)
+		}
+		a.emit(instr{op: opHalt})
+		if a.err != nil {
+			return nil, a.err
+		}
+		return a.code, nil
+	}
 	for _, st := range prog.Prelude {
 		a.emitStepToHalt(st)
 	}
-	a.mutePrelude = false
 	if n == 0 {
 		a.emit(instr{op: opSurvive})
 		a.emit(instr{op: opHalt})
@@ -164,12 +217,22 @@ func (vm *VM) compile(protocol Protocol, outer []int64, countPrelude bool) (*vmC
 		}
 		return a.code, nil
 	}
-	a.emitLoop(0, outer)
+	a.emitLoop(0)
 	a.emit(instr{op: opHalt})
 	if a.err != nil {
 		return nil, a.err
 	}
 	return a.code, nil
+}
+
+// emitAssign compiles an assignment step and ignores check steps (the tile
+// mode's replay of prefix levels, whose checks the tiler already applied).
+func (a *vmAssembler) emitAssign(st plan.Step) {
+	if st.Kind != plan.AssignStep {
+		return
+	}
+	a.emitExpr(st.Expr)
+	a.emit(instr{op: opStore, a: int32(st.Slot)})
 }
 
 func (a *vmAssembler) emit(in instr) int32 {
@@ -328,17 +391,10 @@ func (a *vmAssembler) emitStep(st plan.Step, _ int32) int32 {
 	}
 	if st.Constraint.Deferred() {
 		idx := a.addDeferred(st)
-		if a.mutePrelude {
-			a.code.deferIDs[idx] = -1
-		}
 		return a.emit(instr{op: opHostChk, a: idx})
 	}
 	a.emitExpr(st.Expr)
-	statsID := int32(st.StatsID)
-	if a.mutePrelude {
-		statsID = -1
-	}
-	return a.emit(instr{op: opCheck, a: statsID})
+	return a.emit(instr{op: opCheck, a: int32(st.StatsID)})
 }
 
 // emitStepToHalt compiles a prelude step whose rejection halts the program.
@@ -373,14 +429,13 @@ func (a *vmAssembler) addDeferred(st plan.Step) int32 {
 	return int32(len(a.code.deferred) - 1)
 }
 
-// emitLoop compiles the loop nest at depth d. outer, non-nil only at depth
-// 0, routes the outermost loop through an explicit value buffer.
-func (a *vmAssembler) emitLoop(d int, outer []int64) {
+// emitLoop compiles the loop nest at depth d.
+func (a *vmAssembler) emitLoop(d int) {
 	prog := a.vm.prog
 	lp := prog.Loops[d]
 	varReg := int32(lp.Slot)
 
-	useList := outer != nil || lp.Iter.Kind != space.ExprIter
+	useList := lp.Iter.Kind != space.ExprIter
 	var rangeDomain *space.RangeDomain
 	if !useList {
 		if rd, ok := lp.Domain.(*space.RangeDomain); ok {
@@ -402,16 +457,14 @@ func (a *vmAssembler) emitLoop(d int, outer []int64) {
 		if d == len(prog.Loops)-1 {
 			a.emit(instr{op: opSurvive})
 		} else {
-			a.emitLoop(d+1, nil)
+			a.emitLoop(d + 1)
 		}
 		return killPatches
 	}
 
 	if useList {
 		// List-driven loop: materialize via host, then cursor iteration.
-		if outer != nil {
-			a.code.hostDoms[d] = &listDom{elems: constFns(outer)}
-		} else if lp.Iter.Kind != space.ExprIter {
+		if lp.Iter.Kind != space.ExprIter {
 			a.code.hostDoms[d] = &hostDom{iter: lp.Iter, argSlots: lp.ArgSlots, settings: a.settings}
 		} else {
 			dom, err := compileDomain(lp.Domain)
@@ -518,26 +571,48 @@ func (a *vmAssembler) emitLoop(d int, outer []int64) {
 	}
 }
 
-func constFns(vals []int64) []intFn {
-	out := make([]intFn, len(vals))
-	for i, v := range vals {
-		v := v
-		out[i] = func([]int64) int64 { return v }
-	}
-	return out
+// vmExec is one execution session: the register file, operand stack, and
+// scratch buffers live across runs so a tile worker re-executes its stream
+// without reallocating.
+type vmExec struct {
+	vm    *VM
+	code  *vmCode
+	reg   []int64
+	bufs  [][]int64
+	stk   []int64
+	tuple []int64
+	stats *Stats
+	opts  Options
+	ctl   *runCtl
 }
 
-// exec interprets the bytecode.
-func (vm *VM) exec(code *vmCode, stats *Stats, opts Options) {
-	reg := make([]int64, code.nregs)
+func newVMExec(vm *VM, code *vmCode, opts Options, ctl *runCtl) *vmExec {
+	x := &vmExec{
+		vm:    vm,
+		code:  code,
+		reg:   make([]int64, code.nregs),
+		bufs:  make([][]int64, len(code.hostDoms)),
+		stk:   make([]int64, 0, 64),
+		tuple: make([]int64, len(code.tupleSlots)),
+		stats: NewStats(vm.prog),
+		opts:  opts,
+		ctl:   ctl,
+	}
 	for _, s := range vm.prog.Settings {
 		if s.V.K != expr.Str {
-			reg[s.Slot] = s.V.I
+			x.reg[s.Slot] = s.V.I
 		}
 	}
-	bufs := make([][]int64, len(code.hostDoms))
-	stk := make([]int64, 0, 64)
-	tuple := make([]int64, len(code.tupleSlots))
+	return x
+}
+
+// run interprets the bytecode.
+func (x *vmExec) run() {
+	code, stats, opts := x.code, x.stats, x.opts
+	reg, bufs := x.reg, x.bufs
+	stk := x.stk
+	tuple := x.tuple
+	defer func() { x.stk = stk }()
 	ins := code.ins
 	pc := int32(0)
 	for {
@@ -679,6 +754,9 @@ func (vm *VM) exec(code *vmCode, stats *Stats, opts Options) {
 			reg[in.b]++
 			pc = in.d
 		case opVisit:
+			if x.ctl.cancelled() {
+				return
+			}
 			stats.LoopVisits[in.a]++
 		case opCheck:
 			v := stk[len(stk)-1]
@@ -704,18 +782,22 @@ func (vm *VM) exec(code *vmCode, stats *Stats, opts Options) {
 				pc = in.b
 			}
 		case opSurvive:
+			ok, last := x.ctl.claim()
+			if !ok {
+				return
+			}
 			stats.Survivors++
 			if opts.OnTuple != nil {
 				for i, s := range code.tupleSlots {
 					tuple[i] = reg[s]
 				}
 				if !opts.OnTuple(tuple) {
-					stats.Stopped = true
+					x.ctl.stop()
 					return
 				}
 			}
-			if opts.Limit > 0 && stats.Survivors >= opts.Limit {
-				stats.Stopped = true
+			if last {
+				x.ctl.stop()
 				return
 			}
 		default:

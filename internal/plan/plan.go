@@ -465,6 +465,117 @@ func chooseOrder(s *space.Space, g *dag.Graph, opts Options) ([]string, error) {
 // NumSlots returns the environment size the program needs.
 func (p *Program) NumSlots() int { return p.Scope.Len() }
 
+// DefaultLoopCard is the cardinality estimate used for loops whose domain
+// cannot be sized statically: deferred and closure iterators, and
+// expression domains that depend on outer loop variables or loop-level
+// derived values.
+const DefaultLoopCard = 8
+
+// EstimateLoopCards estimates the domain cardinality of every loop, in
+// nest order. Domains that depend only on settings and prelude-derived
+// values are materialized against the prelude environment and counted
+// exactly; everything else gets DefaultLoopCard. The parallel scheduler
+// uses these estimates to pick its prefix split depth (§X.B: the level
+// sets make the nest embarrassingly parallel at L0; the estimates say how
+// many levels are worth tiling).
+func (p *Program) EstimateLoopCards() []int64 {
+	env := p.NewEnv()
+	// Prelude assignments depend only on settings; a type error here (an
+	// unfolded string program) just leaves the affected estimates at the
+	// default.
+	safeEval := func(e expr.Expr) (v expr.Value, ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		return e.Eval(env), true
+	}
+	for _, st := range p.Prelude {
+		if st.Kind == AssignStep {
+			if v, ok := safeEval(st.Expr); ok {
+				env.Slots[st.Slot] = v
+			}
+		}
+	}
+	// Names bound inside the nest: loop variables and loop-level derived
+	// values. A domain referencing any of them is dynamic.
+	dynamic := make(map[string]bool)
+	for _, lp := range p.Loops {
+		dynamic[lp.Iter.Name] = true
+		for _, st := range lp.Steps {
+			if st.Kind == AssignStep {
+				dynamic[st.Name] = true
+			}
+		}
+	}
+	cards := make([]int64, len(p.Loops))
+	for i, lp := range p.Loops {
+		cards[i] = DefaultLoopCard
+		if lp.Iter.Kind != space.ExprIter {
+			continue
+		}
+		static := true
+		for _, dep := range space.DomainDeps(lp.Domain) {
+			if dynamic[dep] {
+				static = false
+				break
+			}
+		}
+		if !static {
+			continue
+		}
+		var n int64
+		counted := func() (ok bool) {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			lp.Domain.Iterate(env, func(int64) bool {
+				n++
+				return n < 1<<22 // cap the walk; beyond this any estimate saturates
+			})
+			return true
+		}()
+		if counted {
+			cards[i] = n
+		}
+	}
+	return cards
+}
+
+// ChooseSplitDepth picks the prefix depth K for the parallel scheduler:
+// the smallest K in [1, len(Loops)] whose estimated prefix-tile count
+// (the product of the first K loop cardinalities) reaches target. With no
+// loops it returns 0. An estimated-empty level stops the search early —
+// tiling will discover the truth at run time either way.
+func ChooseSplitDepth(p *Program, target int) int {
+	n := len(p.Loops)
+	if n == 0 {
+		return 0
+	}
+	if target < 1 {
+		target = 1
+	}
+	cards := p.EstimateLoopCards()
+	prod := int64(1)
+	for k := 0; k < n; k++ {
+		c := cards[k]
+		if c <= 0 {
+			return k + 1
+		}
+		if prod > int64(target)/c {
+			return k + 1 // prod*c >= target without overflow risk
+		}
+		prod *= c
+		if prod >= int64(target) {
+			return k + 1
+		}
+	}
+	return n
+}
+
 // IterNames returns the loop variables in nest order, outermost first.
 func (p *Program) IterNames() []string {
 	out := make([]string, len(p.Loops))

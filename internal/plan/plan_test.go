@@ -287,3 +287,74 @@ func TestSettingBySlot(t *testing.T) {
 		t.Errorf("mode slot value = %v", got)
 	}
 }
+
+func TestEstimateLoopCards(t *testing.T) {
+	s := space.New()
+	s.IntSetting("n", 6)
+	s.Range("a", expr.IntLit(0), expr.NewRef("n")) // static: 6
+	s.Range("b", expr.IntLit(0), expr.NewRef("a")) // depends on a: default
+	s.IntList("c", 1, 2, 4)                        // static: 3
+	s.DeferredIter("d", []string{"a"}, func(args []expr.Value) space.DomainExpr {
+		return space.NewIntList(args[0].I)
+	})
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]int64)
+	for i, lp := range prog.Loops {
+		byName[lp.Iter.Name] = prog.EstimateLoopCards()[i]
+	}
+	if byName["a"] != 6 {
+		t.Errorf("card(a) = %d, want 6", byName["a"])
+	}
+	if byName["b"] != DefaultLoopCard {
+		t.Errorf("card(b) = %d, want default %d", byName["b"], DefaultLoopCard)
+	}
+	if byName["c"] != 3 {
+		t.Errorf("card(c) = %d, want 3", byName["c"])
+	}
+	if byName["d"] != DefaultLoopCard {
+		t.Errorf("card(d) = %d, want default %d", byName["d"], DefaultLoopCard)
+	}
+}
+
+func TestChooseSplitDepth(t *testing.T) {
+	mk := func(bounds ...int64) *Program {
+		s := space.New()
+		for i, b := range bounds {
+			s.Range(string(rune('a'+i)), expr.IntLit(0), expr.IntLit(b))
+		}
+		prog, err := Compile(s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	cases := []struct {
+		bounds []int64
+		target int
+		want   int
+	}{
+		{[]int64{10, 10, 10}, 8, 1}, // outer loop alone suffices
+		{[]int64{4, 4, 4}, 8, 2},    // needs two levels: 4*4 = 16 >= 8
+		{[]int64{2, 2, 2}, 64, 3},   // never reaches target: full depth
+		{[]int64{3, 100}, 64, 2},    // second level carries the weight
+		{[]int64{5}, 1, 1},          // trivial target
+		{[]int64{0, 9}, 8, 1},       // empty level stops the search
+	}
+	for _, tc := range cases {
+		if got := ChooseSplitDepth(mk(tc.bounds...), tc.target); got != tc.want {
+			t.Errorf("ChooseSplitDepth(%v, %d) = %d, want %d", tc.bounds, tc.target, got, tc.want)
+		}
+	}
+	// No loops: depth 0.
+	s := space.New()
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ChooseSplitDepth(prog, 8); got != 0 {
+		t.Errorf("empty program split depth = %d, want 0", got)
+	}
+}

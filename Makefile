@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt examples artifacts gensweep clean
+.PHONY: all build test test-short race bench benchjson vet fmt examples artifacts gensweep clean
 
 all: build test
 
@@ -22,8 +22,17 @@ race: vet
 	$(GO) test -race -short ./...
 
 # Full benchmark run: every paper figure and table (see EXPERIMENTS.md).
+# Output is kept in bench_output.txt for benchjson and later comparison.
 bench:
-	$(GO) test -bench . -benchmem ./...
+	@rm -f bench_output.txt
+	$(GO) test -bench . -benchmem ./... 2>&1 | tee bench_output.txt
+	@grep -q "^ok\|^PASS" bench_output.txt && ! grep -q "^FAIL\|^--- FAIL" bench_output.txt
+
+# Machine-readable perf snapshot: parse bench_output.txt (running `make
+# bench` first if absent) into BENCH_<date>.json.
+benchjson:
+	@test -s bench_output.txt || $(MAKE) bench
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$$(date +%F).json
 
 vet:
 	$(GO) vet ./...

@@ -48,6 +48,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "parallel enumeration workers (prefix-tile scheduling)")
 		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
 		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
+		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer: CSE, subexpression hoisting, simplification (ablation)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 	}
 	fmt.Println(s.Summary())
 
-	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist})
+	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist, DisableCSE: *noCSE})
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +124,10 @@ func main() {
 	fmt.Printf("visited=%d survivors=%d pruned=%.4f%% (%.2fM iterations/s)\n",
 		st.TotalVisits(), st.Survivors, 100*st.PruneRate(),
 		float64(st.TotalVisits())/elapsed.Seconds()/1e6)
+	if len(prog.Temps) > 0 {
+		fmt.Printf("expr optimizer: temps=%d evals=%d reuse-hits=%d exprops=%d\n",
+			len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits(), st.ExprOps(prog))
+	}
 	if *funnel {
 		fmt.Print(viz.ASCIIFunnel(prog, st))
 	}

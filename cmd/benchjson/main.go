@@ -1,0 +1,53 @@
+// Command benchjson converts `go test -bench` text output (as captured by
+// `make bench` into bench_output.txt) into a machine-readable JSON perf
+// snapshot, so benchmark history can be committed and diffed across
+// revisions (see EXPERIMENTS.md):
+//
+//	make bench
+//	go run ./cmd/benchjson -in bench_output.txt -out BENCH_$(date +%F).json
+//
+// or simply `make benchjson`. Custom b.ReportMetric units (visits/op,
+// exprops/op, temphits/op, Mit/s, ...) are carried through alongside the
+// standard ns/op, B/op and allocs/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "bench_output.txt", "benchmark text output to parse")
+		out = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+	)
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	text, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	snap, err := Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	snap.Date = time.Now().Format("2006-01-02")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

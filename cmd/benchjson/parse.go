@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the committed perf record for one benchmark run.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `Benchmark...` result line: the name (with the -cpus
+// suffix stripped), its package, the iteration count, and every reported
+// metric keyed by unit.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads the text format `go test -bench` prints: header lines
+// (goos/goarch/pkg/cpu), result lines of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// and trailing PASS/ok lines, which are skipped. Metric values are
+// whatever value/unit pairs follow the iteration count, so custom
+// b.ReportMetric units survive.
+func Parse(text string) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("line %d: malformed benchmark line: %q", ln+1, line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad iteration count %q: %v", ln+1, fields[1], err)
+		}
+		b := Benchmark{
+			Name:       trimCPUSuffix(fields[0]),
+			Pkg:        pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad metric value %q: %v", ln+1, fields[i], err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return snap, nil
+}
+
+// trimCPUSuffix drops the trailing -<gomaxprocs> go test appends to the
+// benchmark name, leaving sub-benchmark paths intact.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGEMMSweep/interp-8         	       6	 179296192 ns/op	      12.34 Mit/s	 1024 B/op	       3 allocs/op
+BenchmarkExprOptimizer/interp/cse-8 	       5	 180000000 ns/op	  16268882 exprops/op	    121429 temphits/op
+BenchmarkNoSuffix                   	     100	     12345 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU == "" {
+		t.Errorf("header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkGEMMSweep/interp" || b.Pkg != "repro" || b.Iterations != 6 {
+		t.Errorf("bench 0: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 179296192 || b.Metrics["Mit/s"] != 12.34 ||
+		b.Metrics["B/op"] != 1024 || b.Metrics["allocs/op"] != 3 {
+		t.Errorf("bench 0 metrics: %+v", b.Metrics)
+	}
+	if m := snap.Benchmarks[1].Metrics; m["exprops/op"] != 16268882 || m["temphits/op"] != 121429 {
+		t.Errorf("custom metrics: %+v", m)
+	}
+	if snap.Benchmarks[2].Name != "BenchmarkNoSuffix" {
+		t.Errorf("suffix trim must leave plain names alone: %q", snap.Benchmarks[2].Name)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := Parse("BenchmarkX-8  notanumber  5 ns/op\n"); err == nil {
+		t.Error("want error for bad iteration count")
+	}
+	if _, err := Parse("BenchmarkX-8  3  bad ns/op\n"); err == nil {
+		t.Error("want error for bad metric value")
+	}
+}

@@ -40,6 +40,9 @@ type compiledStep struct {
 	fn         intFn
 	statsID    int
 	deferredFn func(r []int64) bool // non-nil for deferred constraints
+	temp       bool                 // optimizer temp assignment
+	level      int                  // Stats temp-counter index (step depth + 1)
+	tempRefs   int64                // temp-slot reads in this step's expression
 }
 
 // compiledDomain enumerates values against the raw register file.
@@ -216,7 +219,10 @@ func NewCompiled(prog *plan.Program) (*Compiled, error) {
 func (c *Compiled) compileSteps(steps []plan.Step) ([]compiledStep, error) {
 	out := make([]compiledStep, 0, len(steps))
 	for _, st := range steps {
-		cs := compiledStep{check: st.Kind == plan.CheckStep, slot: st.Slot, statsID: st.StatsID}
+		cs := compiledStep{
+			check: st.Kind == plan.CheckStep, slot: st.Slot, statsID: st.StatsID,
+			temp: st.Temp, level: st.Depth + 1, tempRefs: int64(st.TempRefs),
+		}
 		if cs.check && st.Constraint.Deferred() {
 			cn := st.Constraint
 			slots := st.ArgSlots
@@ -572,8 +578,14 @@ func (w *compiledWorker) runTile(prefix []int64) (err error) {
 func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
 	for i := range steps {
 		st := &steps[i]
+		if st.tempRefs > 0 {
+			s.stats.TempHits[st.level] += st.tempRefs
+		}
 		if !st.check {
 			s.reg[st.slot] = st.fn(s.reg)
+			if st.temp {
+				s.stats.TempEvals[st.level]++
+			}
 			continue
 		}
 		s.stats.Checks[st.statsID]++

@@ -112,9 +112,10 @@ func randomSpace(rng *rand.Rand) *space.Space {
 }
 
 // TestFuzzCrossEngine generates hundreds of random spaces and requires all
-// three backends — under every loop protocol, with and without hoisting,
-// sequentially and in parallel — to agree on the full tuple stream and
-// statistics. This is the repository's core soundness property
+// three backends — under every loop protocol, under every hoisting x CSE
+// ablation combination, sequentially and in parallel — to agree on the
+// full tuple stream and statistics, including the expression optimizer's
+// temp counters. This is the repository's core soundness property
 // (DESIGN.md §4) under adversarial structure.
 func TestFuzzCrossEngine(t *testing.T) {
 	iterations := 300
@@ -156,24 +157,64 @@ func TestFuzzCrossEngine(t *testing.T) {
 					t.Fatalf("trial %d %s/%s: kills %v want %v\nspace:\n%s",
 						trial, e.Name(), p, st.Kills, wantStats.Kills, prog.Describe())
 				}
+				if !reflect.DeepEqual(st.TempEvals, wantStats.TempEvals) ||
+					!reflect.DeepEqual(st.TempHits, wantStats.TempHits) {
+					t.Fatalf("trial %d %s/%s: temp counters evals %v hits %v want %v %v\nspace:\n%s",
+						trial, e.Name(), p, st.TempEvals, st.TempHits,
+						wantStats.TempEvals, wantStats.TempHits, prog.Describe())
+				}
 			}
 		}
-		// Hoisting ablation preserves the survivor set.
-		progN, err := plan.Compile(s, plan.Options{DisableHoisting: true})
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+		// Ablation grid: every hoisting x CSE combination must preserve the
+		// survivor set, and within each combination the three backends must
+		// agree on the optimizer's temp counters (zero when CSE is off).
+		combos := []struct {
+			label string
+			opts  plan.Options
+		}{
+			{"nohoist", plan.Options{DisableHoisting: true}},
+			{"nocse", plan.Options{DisableCSE: true}},
+			{"nohoist+nocse", plan.Options{DisableHoisting: true, DisableCSE: true}},
 		}
-		compN, err := NewCompiled(progN)
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
-		gotN, _, err := CollectTuples(compN, 0)
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
-		if !reflect.DeepEqual(gotN, want) {
-			t.Fatalf("trial %d: hoisting changed survivors (%d vs %d)\nspace:\n%s",
-				trial, len(gotN), len(want), prog.Describe())
+		for _, c := range combos {
+			progC, err := plan.Compile(s, c.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, c.label, err)
+			}
+			compC, err := NewCompiled(progC)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, c.label, err)
+			}
+			gotC, statsC, err := CollectTuples(compC, 0)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, c.label, err)
+			}
+			if !reflect.DeepEqual(gotC, want) {
+				t.Fatalf("trial %d %s: ablation changed survivors (%d vs %d)\nspace:\n%s",
+					trial, c.label, len(gotC), len(want), prog.Describe())
+			}
+			if c.opts.DisableCSE && statsC.TotalTempEvals()+statsC.TotalTempHits() != 0 {
+				t.Fatalf("trial %d %s: DisableCSE run counted temps: evals %v hits %v",
+					trial, c.label, statsC.TempEvals, statsC.TempHits)
+			}
+			for _, e := range []Engine{NewInterp(progC), NewVM(progC)} {
+				gotE, stE, err := collectWithProtocol(e, ProtoDefault)
+				if err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, c.label, e.Name(), err)
+				}
+				if !reflect.DeepEqual(gotE, want) {
+					t.Fatalf("trial %d %s %s: %d tuples, want %d\nspace:\n%s",
+						trial, c.label, e.Name(), len(gotE), len(want), progC.Describe())
+				}
+				if !reflect.DeepEqual(stE.TempEvals, statsC.TempEvals) ||
+					!reflect.DeepEqual(stE.TempHits, statsC.TempHits) {
+					t.Fatalf("trial %d %s %s: temp counters evals %v hits %v want %v %v\nspace:\n%s",
+						trial, c.label, e.Name(), stE.TempEvals, stE.TempHits,
+						statsC.TempEvals, statsC.TempHits, progC.Describe())
+				}
+			}
+			assertParallelAgrees(t, compC, statsC, Options{Workers: 4},
+				fmt.Sprintf("trial %d %s parallel", trial, c.label), progC)
 		}
 		// Parallel tiling preserves the full statistics — visits, checks,
 		// kills, survivors — for every backend and worker count, and at
@@ -206,6 +247,11 @@ func assertParallelAgrees(t *testing.T, e Engine, want *Stats, opts Options, lab
 		t.Fatalf("%s: parallel stats diverge\nsurvivors %d want %d\nvisits %v want %v\nchecks %v want %v\nkills %v want %v\nspace:\n%s",
 			label, st.Survivors, want.Survivors, st.LoopVisits, want.LoopVisits,
 			st.Checks, want.Checks, st.Kills, want.Kills, prog.Describe())
+	}
+	if !reflect.DeepEqual(st.TempEvals, want.TempEvals) ||
+		!reflect.DeepEqual(st.TempHits, want.TempHits) {
+		t.Fatalf("%s: parallel temp counters diverge\nevals %v want %v\nhits %v want %v\nspace:\n%s",
+			label, st.TempEvals, want.TempEvals, st.TempHits, want.TempHits, prog.Describe())
 	}
 	if st.Stopped {
 		t.Fatalf("%s: complete run reported Stopped", label)

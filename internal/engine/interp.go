@@ -341,8 +341,14 @@ func (w *interpWorker) runTile(prefix []int64) (err error) {
 func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 	for i := range steps {
 		st := &steps[i]
+		if st.TempRefs > 0 {
+			s.stats.TempHits[st.Depth+1] += int64(st.TempRefs)
+		}
 		if st.Kind == plan.AssignStep {
 			s.env[st.Name] = evalMap(st.Expr, s.env)
+			if st.Temp {
+				s.stats.TempEvals[st.Depth+1]++
+			}
 			continue
 		}
 		s.stats.Checks[st.StatsID]++

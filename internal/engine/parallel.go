@@ -206,8 +206,14 @@ func genTiles(prog *plan.Program, opts Options, workers int) (st *Stats, tiles *
 	env := prog.NewEnv()
 	for i := range prog.Prelude {
 		step := &prog.Prelude[i]
+		if step.TempRefs > 0 {
+			st.TempHits[0] += int64(step.TempRefs)
+		}
 		if step.Kind == plan.AssignStep {
 			env.Slots[step.Slot] = step.Expr.Eval(env)
+			if step.Temp {
+				st.TempEvals[0]++
+			}
 			continue
 		}
 		st.Checks[step.StatsID]++
@@ -299,8 +305,14 @@ func replayPrefix(prog *plan.Program, env *expr.Env, prefix []int64) {
 func runTileSteps(steps []plan.Step, env *expr.Env, st *Stats) bool {
 	for i := range steps {
 		step := &steps[i]
+		if step.TempRefs > 0 {
+			st.TempHits[step.Depth+1] += int64(step.TempRefs)
+		}
 		if step.Kind == plan.AssignStep {
 			env.Slots[step.Slot] = step.Expr.Eval(env)
+			if step.Temp {
+				st.TempEvals[step.Depth+1]++
+			}
 			continue
 		}
 		st.Checks[step.StatsID]++

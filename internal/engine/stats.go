@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/space"
 )
@@ -42,6 +43,15 @@ type Stats struct {
 	// constraint i (plan StatsID order).
 	Checks []int64
 	Kills  []int64
+
+	// TempEvals[l] and TempHits[l] count the plan-time expression
+	// optimizer's activity at level l (0 = prelude, d+1 = loop depth d):
+	// TempEvals counts executions of synthesized temp assignments (each a
+	// shared subexpression computed once), TempHits counts temp-slot reads
+	// by the steps that would otherwise have recomputed the subexpression.
+	// Both stay zero when the program was compiled with DisableCSE.
+	TempEvals []int64
+	TempHits  []int64
 
 	// Survivors counts tuples that passed every constraint.
 	Survivors int64
@@ -66,6 +76,8 @@ func NewStats(prog *plan.Program) *Stats {
 		LoopVisits: make([]int64, len(prog.Loops)),
 		Checks:     make([]int64, len(prog.Constraints)),
 		Kills:      make([]int64, len(prog.Constraints)),
+		TempEvals:  make([]int64, len(prog.Loops)+1),
+		TempHits:   make([]int64, len(prog.Loops)+1),
 	}
 }
 
@@ -77,6 +89,10 @@ func (s *Stats) Merge(other *Stats) {
 	for i := range s.Checks {
 		s.Checks[i] += other.Checks[i]
 		s.Kills[i] += other.Kills[i]
+	}
+	for i := range s.TempEvals {
+		s.TempEvals[i] += other.TempEvals[i]
+		s.TempHits[i] += other.TempHits[i]
 	}
 	s.Survivors += other.Survivors
 	s.Stopped = s.Stopped || other.Stopped
@@ -90,6 +106,75 @@ func (s *Stats) TotalVisits() int64 {
 		t += v
 	}
 	return t
+}
+
+// TotalTempEvals returns the number of temp-assignment executions across
+// levels: how many times a shared subexpression was actually computed.
+func (s *Stats) TotalTempEvals() int64 {
+	var t int64
+	for _, v := range s.TempEvals {
+		t += v
+	}
+	return t
+}
+
+// TotalTempHits returns the number of temp-slot reads across levels: how
+// many subexpression evaluations the optimizer's temps replaced.
+func (s *Stats) TotalTempHits() int64 {
+	var t int64
+	for _, v := range s.TempHits {
+		t += v
+	}
+	return t
+}
+
+// ExprOps derives the total number of expression-tree nodes the run
+// evaluated: for each step, the node count of its expression times the
+// number of times the step executed (loop visits at its depth, minus the
+// iterations already killed by earlier checks at the same depth). It is
+// computed from the plan and the counters after the run, so it costs
+// nothing in the hot loop, and it is the quantity the CSE ablation
+// reduces: temps shrink the per-visit node count of every step that
+// shares a subexpression.
+func (s *Stats) ExprOps(prog *plan.Program) int64 {
+	var total int64
+	countSteps := func(steps []plan.Step, visits int64) {
+		live := visits
+		for i := range steps {
+			st := &steps[i]
+			if st.Expr != nil {
+				total += int64(exprNodes(st.Expr)) * live
+			}
+			if st.Kind == plan.CheckStep {
+				live -= s.Kills[st.StatsID]
+			}
+		}
+	}
+	countSteps(prog.Prelude, 1)
+	for d, lp := range prog.Loops {
+		countSteps(lp.Steps, s.LoopVisits[d])
+	}
+	return total
+}
+
+// exprNodes counts the nodes of an expression tree.
+func exprNodes(e expr.Expr) int {
+	n := 1
+	switch x := e.(type) {
+	case *expr.Unary:
+		n += exprNodes(x.X)
+	case *expr.Binary:
+		n += exprNodes(x.L) + exprNodes(x.R)
+	case *expr.Ternary:
+		n += exprNodes(x.Cond) + exprNodes(x.Then) + exprNodes(x.Else)
+	case *expr.Call:
+		for _, a := range x.Args {
+			n += exprNodes(a)
+		}
+	case *expr.Table2D:
+		n += exprNodes(x.Row) + exprNodes(x.Col)
+	}
+	return n
 }
 
 // TotalKills returns the number of pruned candidates across constraints.
@@ -145,5 +230,9 @@ func (s *Stats) FunnelReport(prog *plan.Program) string {
 	}
 	fmt.Fprintf(&b, "%-28s %-12s %14s %14d\n", "survivors", "", "", s.Survivors)
 	fmt.Fprintf(&b, "prune rate: %.4f%% of candidates rejected\n", 100*s.PruneRate())
+	if len(prog.Temps) > 0 {
+		fmt.Fprintf(&b, "expression temps: %d hoisted, %d evals, %d reuse hits\n",
+			len(prog.Temps), s.TotalTempEvals(), s.TotalTempHits())
+	}
 	return b.String()
 }

@@ -77,7 +77,9 @@ const (
 	opVisit   // stats.LoopVisits[a]++
 	opCheck   // pop; stats.Checks[a]++; if nonzero { stats.Kills[a]++; pc = b }
 	opHostChk // if deferredChks[a](reg) { stats.Kills[a]++; pc = b } (checks counted too)
-	opSurvive // survivor bookkeeping; may halt enumeration
+	opSurvive  // survivor bookkeeping; may halt enumeration
+	opTempEval // stats.TempEvals[a]++ (optimizer temp assignment executed)
+	opTempHits // stats.TempHits[a] += b (temp-slot reads in the step just run)
 )
 
 type instr struct {
@@ -384,9 +386,17 @@ func (a *vmAssembler) emitBinary(n *expr.Binary) {
 // killTarget (patched later via the returned patch list). It returns the
 // instruction index to patch, or -1.
 func (a *vmAssembler) emitStep(st plan.Step, _ int32) int32 {
+	// Optimizer accounting rides only this counted path; emitAssign's tile
+	// replay stays silent so merged parallel stats equal sequential ones.
+	if st.TempRefs > 0 {
+		a.emit(instr{op: opTempHits, a: int32(st.Depth + 1), b: int32(st.TempRefs)})
+	}
 	if st.Kind == plan.AssignStep {
 		a.emitExpr(st.Expr)
 		a.emit(instr{op: opStore, a: int32(st.Slot)})
+		if st.Temp {
+			a.emit(instr{op: opTempEval, a: int32(st.Depth + 1)})
+		}
 		return -1
 	}
 	if st.Constraint.Deferred() {
@@ -781,6 +791,10 @@ func (x *vmExec) run() {
 				}
 				pc = in.b
 			}
+		case opTempEval:
+			stats.TempEvals[in.a]++
+		case opTempHits:
+			stats.TempHits[in.a] += int64(in.b)
 		case opSurvive:
 			ok, last := x.ctl.claim()
 			if !ok {

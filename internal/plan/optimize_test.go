@@ -1,0 +1,254 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// findStep returns the step named name and the depth it is placed at
+// (-1 = prelude), or nil.
+func findStep(prog *Program, name string) (*Step, int) {
+	for i := range prog.Prelude {
+		if prog.Prelude[i].Name == name {
+			return &prog.Prelude[i], -1
+		}
+	}
+	for d, lp := range prog.Loops {
+		for i := range lp.Steps {
+			if lp.Steps[i].Name == name {
+				return &lp.Steps[i], d
+			}
+		}
+	}
+	return nil, -2
+}
+
+func countTempSteps(prog *Program) int {
+	n := 0
+	for _, st := range prog.Prelude {
+		if st.Temp {
+			n++
+		}
+	}
+	for _, lp := range prog.Loops {
+		for _, st := range lp.Steps {
+			if st.Temp {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// mulAB is the shared subtree the CSE tests duplicate: a*b, used by two
+// derived variables.
+func cseSpace() *space.Space {
+	s := space.New()
+	s.IntSetting("n", 8)
+	s.Range("a", expr.IntLit(1), expr.IntLit(5))
+	s.Range("b", expr.IntLit(1), expr.IntLit(5))
+	s.Derived("p", expr.Add(expr.Mul(expr.NewRef("a"), expr.NewRef("b")), expr.IntLit(1)))
+	s.Derived("q", expr.Sub(expr.Mul(expr.NewRef("a"), expr.NewRef("b")), expr.IntLit(1)))
+	s.Constrain("k", space.Hard, expr.Gt(expr.NewRef("p"), expr.NewRef("q")))
+	return s
+}
+
+func TestCSECreatesSharedTemp(t *testing.T) {
+	prog, err := Compile(cseSpace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Temps) != 1 {
+		t.Fatalf("want exactly one temp for the duplicated a*b, got %d: %+v", len(prog.Temps), prog.Temps)
+	}
+	td := prog.Temps[0]
+	if td.Uses != 2 {
+		t.Errorf("temp uses = %d, want 2", td.Uses)
+	}
+	st, depth := findStep(prog, td.Name)
+	if st == nil {
+		t.Fatalf("temp step %q not placed in program", td.Name)
+	}
+	if !st.Temp || st.Kind != AssignStep {
+		t.Errorf("temp step flags wrong: %+v", st)
+	}
+	// a*b depends on both loop vars; it must sit at the inner loop depth,
+	// and before the first step that reads it.
+	if depth != td.Depth {
+		t.Errorf("placed depth %d != TempDef depth %d", depth, td.Depth)
+	}
+	inner := len(prog.Loops) - 1
+	if td.Depth != inner {
+		t.Errorf("temp depth = %d, want innermost %d", td.Depth, inner)
+	}
+	steps := prog.Loops[td.Depth].Steps
+	tempIdx, useIdx := -1, -1
+	for i := range steps {
+		if steps[i].Name == td.Name {
+			tempIdx = i
+		}
+		if steps[i].TempRefs > 0 && useIdx == -1 && !steps[i].Temp {
+			useIdx = i
+		}
+	}
+	if tempIdx == -1 || useIdx == -1 || tempIdx > useIdx {
+		t.Errorf("temp at %d must precede first use at %d", tempIdx, useIdx)
+	}
+}
+
+func TestHoistToOuterDepth(t *testing.T) {
+	s := space.New()
+	s.IntSetting("n", 6)
+	s.Range("a", expr.IntLit(1), expr.IntLit(4))
+	s.Range("b", expr.IntLit(1), expr.NewRef("a")) // depends on a: stays inner
+	// a*(a+2) appears once, inside a constraint that is only checkable at
+	// b's depth; its free variables bind at a's depth, so it must hoist.
+	s.Constrain("k", space.Hard,
+		expr.Gt(expr.Add(expr.Mul(expr.NewRef("a"), expr.Add(expr.NewRef("a"), expr.IntLit(2))), expr.NewRef("b")),
+			expr.IntLit(30)))
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Temps) == 0 {
+		t.Fatal("expected at least one hoisted temp")
+	}
+	var depthA = -2
+	for d, lp := range prog.Loops {
+		if lp.Iter.Name == "a" {
+			depthA = d
+		}
+	}
+	hoisted := false
+	for _, td := range prog.Temps {
+		if td.Depth == depthA {
+			hoisted = true
+		}
+	}
+	if !hoisted {
+		t.Errorf("no temp hoisted to a's depth %d: %+v", depthA, prog.Temps)
+	}
+}
+
+func TestDisableCSE(t *testing.T) {
+	prog, err := Compile(cseSpace(), Options{DisableCSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Temps) != 0 || countTempSteps(prog) != 0 {
+		t.Fatalf("DisableCSE must produce no temps, got %d defs / %d steps",
+			len(prog.Temps), countTempSteps(prog))
+	}
+	desc := prog.Describe()
+	if strings.Contains(desc, "$t") {
+		t.Errorf("DisableCSE program still mentions temps:\n%s", desc)
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	s := space.New()
+	s.IntSetting("n", 8)
+	s.Range("a", expr.IntLit(1), expr.IntLit(5))
+	s.Derived("m1", expr.Mul(expr.NewRef("a"), expr.IntLit(1)))   // -> a
+	s.Derived("a0", expr.Add(expr.IntLit(0), expr.NewRef("a")))   // -> a
+	s.Derived("z", expr.Mul(expr.NewRef("a"), expr.IntLit(0)))    // -> 0
+	s.Derived("eqs", expr.Eq(expr.NewRef("a"), expr.NewRef("a"))) // -> true
+	s.Derived("nn", expr.Neg(expr.Neg(expr.NewRef("a"))))         // -> a
+	s.Derived("m0", expr.Mod(expr.NewRef("a"), expr.IntLit(1)))   // -> 0
+	s.Constrain("k", space.Hard, expr.Gt(expr.NewRef("a"), expr.IntLit(100)))
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRef := []string{"m1", "a0", "nn"}
+	for _, name := range wantRef {
+		st, _ := findStep(prog, name)
+		if st == nil {
+			t.Fatalf("step %s missing", name)
+		}
+		ref, ok := st.Expr.(*expr.Ref)
+		if !ok || ref.Name != "a" {
+			t.Errorf("%s: want Ref(a), got %#v", name, st.Expr)
+		}
+	}
+	wantLit := map[string]int64{"z": 0, "eqs": 1, "m0": 0}
+	for name, want := range wantLit {
+		st, _ := findStep(prog, name)
+		if st == nil {
+			t.Fatalf("step %s missing", name)
+		}
+		lit, ok := st.Expr.(*expr.Lit)
+		if !ok {
+			t.Errorf("%s: want literal, got %#v", name, st.Expr)
+			continue
+		}
+		if i, _ := lit.V.AsInt(); i != want {
+			t.Errorf("%s = %d, want %d", name, i, want)
+		}
+	}
+	if len(prog.Temps) != 0 {
+		t.Errorf("simplified leaves should need no temps, got %+v", prog.Temps)
+	}
+}
+
+func TestStringTaintBlocksSharing(t *testing.T) {
+	s := space.New()
+	s.StrSetting("mode", "fast")
+	s.Range("a", expr.IntLit(1), expr.IntLit(4))
+	dup := func() expr.Expr { return expr.Eq(expr.NewRef("mode"), expr.StrLit("slow")) }
+	s.Constrain("k1", space.Hard, expr.And(dup(), expr.Gt(expr.NewRef("a"), expr.IntLit(2))))
+	s.Constrain("k2", space.Hard, expr.And(dup(), expr.Gt(expr.NewRef("a"), expr.IntLit(3))))
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, td := range prog.Temps {
+		if strings.Contains(td.Expr.String(), "mode") {
+			t.Errorf("string-tainted subtree became a temp: %s = %s", td.Name, td.Expr)
+		}
+	}
+}
+
+func TestConditionalPositionsNotHoisted(t *testing.T) {
+	s := space.New()
+	s.IntSetting("n", 7)
+	s.Range("a", expr.IntLit(1), expr.IntLit(4))
+	// a*a occurs twice, but only as the right operand of `or`: a
+	// conditional position in both. No temp may be created for it.
+	dup := func() expr.Expr { return expr.Gt(expr.Mul(expr.NewRef("a"), expr.NewRef("a")), expr.IntLit(5)) }
+	s.Constrain("k1", space.Hard, expr.Or(expr.Gt(expr.NewRef("a"), expr.IntLit(3)), dup()))
+	s.Constrain("k2", space.Hard, expr.Or(expr.Gt(expr.NewRef("a"), expr.IntLit(2)), dup()))
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Temps) != 0 {
+		t.Errorf("conditional-only subtree must not be hoisted, got %+v", prog.Temps)
+	}
+}
+
+func TestTempRefCounts(t *testing.T) {
+	prog, err := Compile(cseSpace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, lp := range prog.Loops {
+		for _, st := range lp.Steps {
+			total += st.TempRefs
+		}
+	}
+	for _, st := range prog.Prelude {
+		total += st.TempRefs
+	}
+	wantUses := 0
+	for _, td := range prog.Temps {
+		wantUses += td.Uses
+	}
+	if total != wantUses || total == 0 {
+		t.Errorf("sum of step TempRefs = %d, sum of TempDef.Uses = %d; want equal and > 0", total, wantUses)
+	}
+}

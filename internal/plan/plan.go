@@ -57,6 +57,40 @@ type Step struct {
 	// StatsID indexes the per-constraint counters of engine statistics;
 	// -1 for AssignStep.
 	StatsID int
+
+	// Temp marks an AssignStep synthesized by the expression optimizer
+	// (a common-subexpression temp, never a user-declared name).
+	Temp bool
+
+	// Depth is the loop depth the step is attached to (-1 for the
+	// prelude). Engines use it to index the per-level optimizer counters.
+	Depth int
+
+	// TempRefs counts the static references to optimizer temps in this
+	// step's expression; engines add it to the per-level cache-hit counter
+	// each time the step executes.
+	TempRefs int
+}
+
+// TempDef describes one synthesized common-subexpression temp.
+type TempDef struct {
+	// Name is the synthetic identifier ("$t0", "$t1", ...). The '$' keeps
+	// it out of the speclang identifier space.
+	Name string
+
+	// Slot is the environment slot the temp occupies.
+	Slot int
+
+	// Depth is the loop depth the temp's assignment was hoisted to
+	// (-1 = prelude: the subexpression is constant under the settings).
+	Depth int
+
+	// Expr is the temp's defining expression (may reference earlier temps).
+	Expr expr.Expr
+
+	// Uses counts static references to the temp across all step
+	// expressions (including other temp definitions).
+	Uses int
 }
 
 // Loop is one level of the generated nest.
@@ -121,6 +155,10 @@ type Program struct {
 	// Folded maps names that were constant-folded at plan time (settings
 	// and setting-only derived variables) to their values.
 	Folded map[string]expr.Value
+
+	// Temps lists the synthesized common-subexpression temps in definition
+	// order (see optimize.go). Empty when Options.DisableCSE is set.
+	Temps []TempDef
 }
 
 // Options control plan compilation.
@@ -141,6 +179,12 @@ type Options struct {
 	// host functions still receive setting values through their argument
 	// slots either way.
 	DisableFolding bool
+
+	// DisableCSE skips the plan-time expression optimizer (optimize.go):
+	// no common-subexpression temps, no subexpression-level invariant
+	// hoisting, no algebraic simplification. Survivors are unchanged;
+	// redundant arithmetic returns. Exists for the CSE ablation.
+	DisableCSE bool
 }
 
 // Compile builds the Program for s.
@@ -351,6 +395,7 @@ func Compile(s *space.Space, opts Options) (*Program, error) {
 		constraintByName[c.Name] = c
 	}
 	attach := func(depth int, st Step) {
+		st.Depth = depth
 		if depth < 0 {
 			prog.Prelude = append(prog.Prelude, st)
 		} else {
@@ -412,6 +457,10 @@ func Compile(s *space.Space, opts Options) (*Program, error) {
 			st.Expr = bound
 		}
 		attach(depth, st)
+	}
+
+	if !opts.DisableCSE {
+		optimize(prog)
 	}
 
 	return prog, nil

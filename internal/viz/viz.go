@@ -125,6 +125,10 @@ func ASCIIFunnel(prog *plan.Program, st *engine.Stats) string {
 	}
 	fmt.Fprintf(&b, "%-28s survivors: %d   overall prune rate: %.4f%%\n",
 		"", st.Survivors, 100*st.PruneRate())
+	if len(prog.Temps) > 0 {
+		fmt.Fprintf(&b, "%-28s expr temps: %d   evals: %d   reuse hits: %d\n",
+			"", len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits())
+	}
 	return b.String()
 }
 

@@ -76,12 +76,20 @@ func TestASCIIFunnel(t *testing.T) {
 	prog, st := gemmRun(t)
 	out := ASCIIFunnel(prog, st)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	// Header + one row per constraint + summary.
-	if len(lines) != len(prog.Constraints)+2 {
-		t.Fatalf("funnel has %d lines, want %d", len(lines), len(prog.Constraints)+2)
+	// Header + one row per constraint + summary + expr-temp line (the
+	// GEMM program has optimizer temps by default).
+	want := len(prog.Constraints) + 2
+	if len(prog.Temps) > 0 {
+		want++
+	}
+	if len(lines) != want {
+		t.Fatalf("funnel has %d lines, want %d", len(lines), want)
 	}
 	if !strings.Contains(out, "partial_warps") || !strings.Contains(out, "survivors:") {
 		t.Errorf("funnel missing expected rows:\n%s", out)
+	}
+	if len(prog.Temps) > 0 && !strings.Contains(out, "expr temps:") {
+		t.Errorf("funnel missing expr temp line:\n%s", out)
 	}
 	if !strings.Contains(out, "#") {
 		t.Error("no bars drawn despite kills")

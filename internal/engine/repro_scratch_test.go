@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+func TestScratchCSEChangesSurvivors(t *testing.T) {
+	build := func() *space.Space {
+		ii := func() expr.Expr { return expr.Mul(expr.NewRef("i"), expr.NewRef("i")) }
+		s := space.New()
+		s.IntSetting("n", 8)
+		s.Range("i", expr.IntLit(1), expr.IntLit(3))
+		s.Range("j", expr.IntLit(1), expr.IntLit(3))
+		s.Range("k", expr.IntLit(1), expr.IntLit(3))
+		s.Constrain("cj", space.Hard, expr.Ne(expr.NewRef("j"), expr.IntLit(2)))
+		s.Derived("x", expr.Add(ii(), expr.NewRef("k")))
+		s.Derived("y", expr.Sub(ii(), expr.NewRef("k")))
+		s.Derived("u", expr.Add(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+		s.Derived("v", expr.Sub(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+		s.Constrain("cu", space.Hard, expr.Gt(expr.NewRef("u"), expr.IntLit(5)))
+		return s
+	}
+	run := func(opts plan.Options) ([][]int64, int64) {
+		prog, err := plan.Compile(build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := NewCompiled(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := CollectTuples(comp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, st.Survivors
+	}
+	on, sOn := run(plan.Options{})
+	off, sOff := run(plan.Options{DisableCSE: true})
+	t.Logf("survivors: cse=%d nocse=%d", sOn, sOff)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("survivor tuples differ with CSE on (%d) vs off (%d)", len(on), len(off))
+	}
+}

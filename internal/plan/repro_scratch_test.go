@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+// Repro: inner temp falls back to use depth (check on path), outer temp
+// still hoists shallow and references the deeper temp's slot.
+func TestScratchTempDependencyOrder(t *testing.T) {
+	ii := func() expr.Expr { return expr.Mul(expr.NewRef("i"), expr.NewRef("i")) }
+	s := space.New()
+	s.IntSetting("n", 8)
+	s.Range("i", expr.IntLit(1), expr.IntLit(3))
+	s.Range("j", expr.IntLit(1), expr.IntLit(3))
+	s.Range("k", expr.IntLit(1), expr.IntLit(3))
+	// check at j's depth blocks hoisting past it
+	s.Constrain("cj", space.Hard, expr.Ne(expr.NewRef("j"), expr.IntLit(2)))
+	// i*i shared at k depth -> temp falls back to depth 2
+	s.Derived("x", expr.Add(ii(), expr.NewRef("k")))
+	s.Derived("y", expr.Sub(ii(), expr.NewRef("k")))
+	// (i*i)*j shared at k depth, natural depth 1 -> hoists to depth 1
+	s.Derived("u", expr.Add(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+	s.Derived("v", expr.Sub(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+	s.Constrain("cu", space.Hard, expr.Gt(expr.NewRef("u"), expr.IntLit(5)))
+
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// slot -> depth of the step that assigns it (temps included)
+	defDepth := map[int]int{}
+	for _, st := range prog.Prelude {
+		if st.Kind == AssignStep {
+			defDepth[st.Slot] = -1
+		}
+	}
+	for d, lp := range prog.Loops {
+		for _, st := range lp.Steps {
+			if st.Kind == AssignStep {
+				defDepth[st.Slot] = d
+			}
+		}
+	}
+	var refs func(e expr.Expr, fn func(*expr.Ref))
+	refs = func(e expr.Expr, fn func(*expr.Ref)) {
+		switch n := e.(type) {
+		case *expr.Ref:
+			fn(n)
+		case *expr.Unary:
+			refs(n.X, fn)
+		case *expr.Binary:
+			refs(n.L, fn)
+			refs(n.R, fn)
+		case *expr.Ternary:
+			refs(n.Cond, fn)
+			refs(n.Then, fn)
+			refs(n.Else, fn)
+		case *expr.Call:
+			for _, a := range n.Args {
+				refs(a, fn)
+			}
+		case *expr.Table2D:
+			refs(n.Row, fn)
+			refs(n.Col, fn)
+		}
+	}
+	for _, td := range prog.Temps {
+		t.Logf("temp %s slot=%d depth=%d expr=%v", td.Name, td.Slot, td.Depth, td.Expr)
+		refs(td.Expr, func(r *expr.Ref) {
+			if dd, ok := defDepth[r.Slot]; ok && dd > td.Depth {
+				t.Errorf("temp %s at depth %d reads %s (slot %d) assigned at deeper depth %d",
+					td.Name, td.Depth, r.Name, r.Slot, dd)
+			}
+		})
+	}
+}

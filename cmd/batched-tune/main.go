@@ -19,19 +19,22 @@ import (
 	"repro/internal/autotune"
 	"repro/internal/batched"
 	"repro/internal/device"
+	"repro/internal/plan"
 )
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "cholesky", "kernel: cholesky or trsm")
-		sizes   = flag.String("sizes", "8,16,24,32,48,64,96,128,192,256", "comma-separated matrix sizes")
-		batch   = flag.Int64("batch", 10000, "matrices per batch")
-		nrhs    = flag.Int64("nrhs", 16, "right-hand sides (trsm)")
-		devName = flag.String("device", "k40c", "device: k40c, gtx680, c2050, gtx980")
-		devJSON = flag.String("device-json", "", "load device properties from a JSON file")
-		workers = flag.Int("workers", 8, "parallel enumeration workers")
+		kernel   = flag.String("kernel", "cholesky", "kernel: cholesky or trsm")
+		sizes    = flag.String("sizes", "8,16,24,32,48,64,96,128,192,256", "comma-separated matrix sizes")
+		batch    = flag.Int64("batch", 10000, "matrices per batch")
+		nrhs     = flag.Int64("nrhs", 16, "right-hand sides (trsm)")
+		devName  = flag.String("device", "k40c", "device: k40c, gtx680, c2050, gtx980")
+		devJSON  = flag.String("device-json", "", "load device properties from a JSON file")
+		workers  = flag.Int("workers", 8, "parallel enumeration workers")
+		noNarrow = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 	)
 	flag.Parse()
+	planOpts := plan.Options{DisableNarrowing: *noNarrow}
 
 	var dev *device.Properties
 	var err error
@@ -55,9 +58,9 @@ func main() {
 	for _, n := range ns {
 		switch *kernel {
 		case "cholesky":
-			runCholesky(dev, n, *batch, *workers)
+			runCholesky(dev, n, *batch, *workers, planOpts)
 		case "trsm":
-			runTRSM(dev, n, *nrhs, *batch, *workers)
+			runTRSM(dev, n, *nrhs, *batch, *workers, planOpts)
 		default:
 			fatal(fmt.Errorf("unknown kernel %q (want cholesky or trsm)", *kernel))
 		}
@@ -65,7 +68,7 @@ func main() {
 	fmt.Println("\n(speedup is Table I's 'Improvement': paper reports up to 1000% small, 300% medium)")
 }
 
-func runCholesky(dev *device.Properties, n, batch int64, workers int) {
+func runCholesky(dev *device.Properties, n, batch int64, workers int, planOpts plan.Options) {
 	cfg := batched.DefaultConfig(n)
 	cfg.Batch = batch
 	cfg.Device = dev
@@ -73,13 +76,13 @@ func runCholesky(dev *device.Properties, n, batch int64, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+	tuner, err := autotune.NewWithOptions(s, func(tuple []int64) float64 {
 		k, err := batched.FromTuple(tuple)
 		if err != nil {
 			return 0
 		}
 		return batched.Estimate(dev, k, cfg)
-	})
+	}, planOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +101,7 @@ func runCholesky(dev *device.Properties, n, batch int64, workers int) {
 		k.NB, k.DimX, k.MPB, k.Unroll)
 }
 
-func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers int) {
+func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers int, planOpts plan.Options) {
 	cfg := batched.DefaultTRSMConfig(n)
 	cfg.NRHS = nrhs
 	cfg.Batch = batch
@@ -107,13 +110,13 @@ func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+	tuner, err := autotune.NewWithOptions(s, func(tuple []int64) float64 {
 		k, err := batched.TRSMFromTuple(tuple)
 		if err != nil {
 			return 0
 		}
 		return batched.EstimateTRSM(dev, k, cfg)
-	})
+	}, planOpts)
 	if err != nil {
 		fatal(err)
 	}

@@ -49,6 +49,7 @@ func main() {
 		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
 		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
 		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer: CSE, subexpression hoisting, simplification (ablation)")
+		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 	}
 	fmt.Println(s.Summary())
 
-	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist, DisableCSE: *noCSE})
+	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist, DisableCSE: *noCSE, DisableNarrowing: *noNarrow})
 	if err != nil {
 		fatal(err)
 	}
@@ -127,6 +128,10 @@ func main() {
 	if len(prog.Temps) > 0 {
 		fmt.Printf("expr optimizer: temps=%d evals=%d reuse-hits=%d exprops=%d\n",
 			len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits(), st.ExprOps(prog))
+	}
+	if skipped := st.TotalIterationsSkipped(); skipped > 0 {
+		fmt.Printf("bounds narrowing: %d iterations skipped (%.1f%% of %d would-be visits)\n",
+			skipped, 100*float64(skipped)/float64(skipped+st.TotalVisits()), skipped+st.TotalVisits())
 	}
 	if *funnel {
 		fmt.Print(viz.ASCIIFunnel(prog, st))

@@ -47,8 +47,10 @@ func main() {
 		table1     = flag.Bool("table1", false, "reproduce Table I and exit")
 		compare    = flag.Bool("compare-backends", false, "time the sweep under every backend (§XI)")
 		energy     = flag.Bool("energy", false, "multi-objective performance/energy tuning (§XI.E): print the Pareto front")
+		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 	)
 	flag.Parse()
+	planOpts := plan.Options{DisableNarrowing: *noNarrow}
 
 	if *table1 {
 		runTable1()
@@ -85,11 +87,11 @@ func main() {
 	fmt.Printf("%s on %s\n%s\n", cfg.Name(), cfg.Device.Name, s.Summary())
 
 	if *compare {
-		compareBackends(s)
+		compareBackends(s, planOpts)
 		return
 	}
 	if *funnel {
-		prog, err := plan.Compile(s, plan.Options{})
+		prog, err := plan.Compile(s, planOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,7 +109,7 @@ func main() {
 
 	prob := kernelsim.ProblemFor(cfg, *n)
 	if *energy {
-		tuner, err := autotune.New(s, nil)
+		tuner, err := autotune.NewWithOptions(s, nil, planOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -138,13 +140,13 @@ func main() {
 		fmt.Printf("(%d total non-dominated points of %d survivors)\n", len(front), rep.Survivors)
 		return
 	}
-	tuner, err := autotune.New(s, func(tuple []int64) float64 {
+	tuner, err := autotune.NewWithOptions(s, func(tuple []int64) float64 {
 		k, err := kernelsim.FromTuple(tuple)
 		if err != nil {
 			return 0
 		}
 		return kernelsim.EstimateGEMM(dev, k, prob).GFLOPS
-	})
+	}, planOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -185,8 +187,8 @@ func main() {
 // under the interpreted, bytecode, and compiled backends, reporting the
 // speedup of generated code over the Python-model front end (the paper:
 // 66948 s vs 264 s, a 253x ratio, at full scale).
-func compareBackends(s *space.Space) {
-	prog, err := plan.Compile(s, plan.Options{})
+func compareBackends(s *space.Space, planOpts plan.Options) {
+	prog, err := plan.Compile(s, planOpts)
 	if err != nil {
 		fatal(err)
 	}

@@ -109,7 +109,13 @@ type Tuner struct {
 
 // New compiles s and returns a Tuner using the fast native engine.
 func New(s *space.Space, obj Objective) (*Tuner, error) {
-	prog, err := plan.Compile(s, plan.Options{})
+	return NewWithOptions(s, obj, plan.Options{})
+}
+
+// NewWithOptions is New with explicit planner options, for ablation runs
+// (e.g. the -no-narrow and -no-cse command-line flags).
+func NewWithOptions(s *space.Space, obj Objective, opts plan.Options) (*Tuner, error) {
+	prog, err := plan.Compile(s, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// Runtime side of the plan's bounds-compilation pass (plan/bounds.go): at
+// every entry of a narrowed loop the engine evaluates the compiled bound
+// groups once against the current environment and shrinks [start, stop)
+// before the first body iteration. Groups apply in body order and each
+// skipped value is credited to its constraint's Checks/Kills counters, so
+// funnel totals are bit-identical to a run without narrowing; the savings
+// surface only in LoopVisits and the BoundsNarrowed/IterationsSkipped
+// counters.
+//
+// Two evaluation strata mirror the backends: narrowRangeAST walks the plan
+// expressions through an adapter (the boxed interpreter and the parallel
+// tiler), narrowRangeRegs runs pre-compiled closures over the int64
+// register file (the Compiled and VM backends).
+
+// astEval abstracts a boxed evaluator for narrowing: bound expressions are
+// loop-variable-free, probes need the loop variable bound to a trial value
+// before evaluating the predicate.
+type astEval interface {
+	boundInt(e expr.Expr) int64
+	probeRejects(p *plan.Probe, v int64) bool
+}
+
+// narrowRangeAST applies lb to the range [start, stop) with the given
+// step, returning the tightened bounds. step must be positive. Skipped
+// iterations are credited in st at loop depth d.
+func narrowRangeAST(lb *plan.LoopBounds, be astEval, start, stop, step int64, st *Stats, d int) (int64, int64) {
+	lo, hi := start, stop
+	if rangeCount(lo, hi, step) == 0 {
+		return lo, hi
+	}
+	if lb.TempRefs > 0 {
+		st.TempHits[d] += int64(lb.TempRefs)
+	}
+	var totalSkipped int64
+	for gi := range lb.Groups {
+		g := &lb.Groups[gi]
+		before := rangeCount(lo, hi, step)
+		if before == 0 {
+			break
+		}
+		for _, e := range g.Lo {
+			if b := be.boundInt(e); b > lo {
+				lo += ceilDiv(b-lo, step) * step
+			}
+		}
+		for _, e := range g.Hi {
+			if b := be.boundInt(e); b < hi {
+				hi = b
+			}
+		}
+		for pi := range g.Probes {
+			p := &g.Probes[pi]
+			n := rangeCount(lo, hi, step)
+			if n == 0 {
+				break
+			}
+			var k int64
+			if p.SuffixFeasible {
+				k = searchK(n, func(i int64) bool { return !be.probeRejects(p, lo+i*step) })
+				lo += k * step
+			} else {
+				k = searchK(n, func(i int64) bool { return be.probeRejects(p, lo+i*step) })
+				hi = lo + k*step
+			}
+		}
+		if skipped := before - rangeCount(lo, hi, step); skipped > 0 {
+			st.Checks[g.StatsID] += skipped
+			st.Kills[g.StatsID] += skipped
+			totalSkipped += skipped
+		}
+	}
+	if totalSkipped > 0 {
+		st.BoundsNarrowed[d]++
+		st.IterationsSkipped[d] += totalSkipped
+	}
+	return lo, hi
+}
+
+// compiledBounds is a LoopBounds lowered to register-file closures, shared
+// by the Compiled and VM backends.
+type compiledBounds struct {
+	tempRefs int
+	groups   []compiledBoundGroup
+}
+
+type compiledBoundGroup struct {
+	statsID int
+	lo, hi  []intFn
+	probes  []compiledProbe
+}
+
+type compiledProbe struct {
+	pred   intFn
+	slot   int
+	suffix bool
+}
+
+// compileLoopBounds lowers lb for the loop variable in slot.
+func compileLoopBounds(lb *plan.LoopBounds, slot int) (*compiledBounds, error) {
+	cb := &compiledBounds{tempRefs: lb.TempRefs}
+	for _, g := range lb.Groups {
+		cg := compiledBoundGroup{statsID: g.StatsID}
+		for _, e := range g.Lo {
+			fn, err := CompileExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			cg.lo = append(cg.lo, fn)
+		}
+		for _, e := range g.Hi {
+			fn, err := CompileExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			cg.hi = append(cg.hi, fn)
+		}
+		for _, p := range g.Probes {
+			fn, err := CompileExpr(p.Pred)
+			if err != nil {
+				return nil, err
+			}
+			cg.probes = append(cg.probes, compiledProbe{pred: fn, slot: slot, suffix: p.SuffixFeasible})
+		}
+		cb.groups = append(cb.groups, cg)
+	}
+	return cb, nil
+}
+
+// narrowRangeRegs is narrowRangeAST over the compiled representation.
+// Probes write trial values into the loop-variable register; callers reset
+// it afterwards (both backends store the start value before iterating).
+func narrowRangeRegs(cb *compiledBounds, reg []int64, start, stop, step int64, st *Stats, d int) (int64, int64) {
+	lo, hi := start, stop
+	if rangeCount(lo, hi, step) == 0 {
+		return lo, hi
+	}
+	if cb.tempRefs > 0 {
+		st.TempHits[d] += int64(cb.tempRefs)
+	}
+	var totalSkipped int64
+	for gi := range cb.groups {
+		g := &cb.groups[gi]
+		before := rangeCount(lo, hi, step)
+		if before == 0 {
+			break
+		}
+		for _, fn := range g.lo {
+			if b := fn(reg); b > lo {
+				lo += ceilDiv(b-lo, step) * step
+			}
+		}
+		for _, fn := range g.hi {
+			if b := fn(reg); b < hi {
+				hi = b
+			}
+		}
+		for pi := range g.probes {
+			p := &g.probes[pi]
+			n := rangeCount(lo, hi, step)
+			if n == 0 {
+				break
+			}
+			rejects := func(i int64) bool {
+				reg[p.slot] = lo + i*step
+				return p.pred(reg) != 0
+			}
+			var k int64
+			if p.suffix {
+				k = searchK(n, func(i int64) bool { return !rejects(i) })
+				lo += k * step
+			} else {
+				k = searchK(n, rejects)
+				hi = lo + k*step
+			}
+		}
+		if skipped := before - rangeCount(lo, hi, step); skipped > 0 {
+			st.Checks[g.statsID] += skipped
+			st.Kills[g.statsID] += skipped
+			totalSkipped += skipped
+		}
+	}
+	if totalSkipped > 0 {
+		st.BoundsNarrowed[d]++
+		st.IterationsSkipped[d] += totalSkipped
+	}
+	return lo, hi
+}
+
+// envBoundEval adapts the boxed slot environment (the parallel tiler's
+// evaluation surface) to the narrowing helper.
+type envBoundEval struct {
+	env  *expr.Env
+	slot int
+}
+
+func (b *envBoundEval) boundInt(e expr.Expr) int64 {
+	v, ok := e.Eval(b.env).AsInt()
+	if !ok {
+		panic(&expr.TypeError{Op: "bound", A: e.Eval(b.env)})
+	}
+	return v
+}
+
+func (b *envBoundEval) probeRejects(p *plan.Probe, v int64) bool {
+	b.env.Slots[b.slot] = expr.IntVal(v)
+	return p.Pred.Eval(b.env).Truthy()
+}
+
+// collectNarrowed materializes a bounded range loop's values during tiling
+// with the compiled bounds applied, crediting skips in st at depth d. It
+// reports false — domain untouched — when the loop has no bounds or the
+// evaluated range is not ascending, in which case the caller enumerates
+// the domain as before.
+func collectNarrowed(lp *plan.Loop, env *expr.Env, st *Stats, d int, collect func(int64) bool) bool {
+	if lp.Bounds == nil {
+		return false
+	}
+	rd, ok := lp.Domain.(*space.RangeDomain)
+	if !ok {
+		return false
+	}
+	start, stop, step, ok := rd.Span(env)
+	if !ok || step <= 0 {
+		return false
+	}
+	be := &envBoundEval{env: env, slot: lp.Slot}
+	lo, hi := narrowRangeAST(lp.Bounds, be, start, stop, step, st, d)
+	for v := lo; v < hi; v += step {
+		if !collect(v) {
+			break
+		}
+	}
+	return true
+}
+
+// rangeCount returns the number of values of the ascending progression
+// start, start+step, ... below stop.
+func rangeCount(start, stop, step int64) int64 {
+	if stop <= start {
+		return 0
+	}
+	return (stop - start + step - 1) / step
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b >= 1.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// searchK returns the smallest k in [0, n] with f(k) true, assuming f is
+// monotone (false for a prefix of ks, true for the rest).
+func searchK(n int64, f func(int64) bool) int64 {
+	lo, hi := int64(0), n
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -173,6 +173,9 @@ type compiledLoop struct {
 	// fast path: non-nil when the domain is a plain range, letting the
 	// enumerator run the loop inline without the domain indirection.
 	rng *rangeDom
+	// bounds is the compiled narrowing recipe when the plan absorbed
+	// leading checks into the range (only ever set alongside rng).
+	bounds *compiledBounds
 }
 
 // NewCompiled compiles prog; it fails if expressions still contain string
@@ -203,6 +206,12 @@ func NewCompiled(prog *plan.Program) (*Compiled, error) {
 			cl.domain = dom
 			if rd, ok := dom.(*rangeDom); ok {
 				cl.rng = rd
+				if lp.Bounds != nil {
+					cl.bounds, err = compileLoopBounds(lp.Bounds, lp.Slot)
+					if err != nil {
+						return nil, fmt.Errorf("engine: loop %s bounds: %w", lp.Iter.Name, err)
+					}
+				}
 			}
 		} else {
 			cl.domain = &hostDom{iter: lp.Iter, argSlots: lp.ArgSlots, settings: c.settings}
@@ -650,6 +659,9 @@ func (s *compiledState) loop(d int) bool {
 	if lp.rng != nil {
 		start, stop, step := lp.rng.span(s.reg)
 		if step > 0 {
+			if lp.bounds != nil {
+				start, stop = narrowRangeRegs(lp.bounds, s.reg, start, stop, step, s.stats, d)
+			}
 			for v := start; v < stop; v += step {
 				if !s.body(d, v) {
 					return false

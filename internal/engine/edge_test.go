@@ -347,3 +347,63 @@ func TestTypeErrorSurfacedAsError(t *testing.T) {
 		t.Error("expected the VM to reject string expressions")
 	}
 }
+
+// A check step between shared subtrees forces the optimizer to place one
+// temp at its use depth while a shallower temp still references the same
+// subexpression, and the Ne constraint collapses a loop to a single value
+// via narrowing. Survivor tuples must be identical under every
+// combination of those passes (this distilled a real planner bug: a bound
+// expression reusing a temp assigned deeper than the loop entry it
+// evaluates at).
+func TestTempAndNarrowAblationParity(t *testing.T) {
+	build := func() *space.Space {
+		ii := func() expr.Expr { return expr.Mul(expr.NewRef("i"), expr.NewRef("i")) }
+		s := space.New()
+		s.IntSetting("n", 8)
+		s.Range("i", expr.IntLit(1), expr.IntLit(3))
+		s.Range("j", expr.IntLit(1), expr.IntLit(3))
+		s.Range("k", expr.IntLit(1), expr.IntLit(3))
+		s.Constrain("cj", space.Hard, expr.Ne(expr.NewRef("j"), expr.IntLit(2)))
+		s.Derived("x", expr.Add(ii(), expr.NewRef("k")))
+		s.Derived("y", expr.Sub(ii(), expr.NewRef("k")))
+		s.Derived("u", expr.Add(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+		s.Derived("v", expr.Sub(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+		s.Constrain("cu", space.Hard, expr.Gt(expr.NewRef("u"), expr.IntLit(5)))
+		return s
+	}
+	run := func(opts plan.Options) ([][]int64, *Stats) {
+		prog, err := plan.Compile(build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := NewCompiled(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := CollectTuples(comp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, st
+	}
+	base, baseStats := run(plan.Options{})
+	for _, c := range []struct {
+		label string
+		opts  plan.Options
+	}{
+		{"nocse", plan.Options{DisableCSE: true}},
+		{"nonarrow", plan.Options{DisableNarrowing: true}},
+		{"nonarrow+nocse", plan.Options{DisableNarrowing: true, DisableCSE: true}},
+	} {
+		got, st := run(c.opts)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("%s: survivor tuples differ (%d vs %d)", c.label, len(got), len(base))
+		}
+		if !reflect.DeepEqual(st.Kills, baseStats.Kills) {
+			t.Errorf("%s: kills %v, want %v", c.label, st.Kills, baseStats.Kills)
+		}
+	}
+	if baseStats.TotalIterationsSkipped() == 0 {
+		t.Error("narrowing did not fire on the Ne-collapsed loop")
+	}
+}

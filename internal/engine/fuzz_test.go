@@ -165,16 +165,22 @@ func TestFuzzCrossEngine(t *testing.T) {
 				}
 			}
 		}
-		// Ablation grid: every hoisting x CSE combination must preserve the
-		// survivor set, and within each combination the three backends must
-		// agree on the optimizer's temp counters (zero when CSE is off).
+		// Ablation grid: every hoisting x CSE x narrowing combination must
+		// preserve the survivor set, and within each combination the three
+		// backends must agree on the optimizer's temp counters (zero when
+		// CSE is off). Narrowing-off runs additionally pin the kill-parity
+		// invariant: per-constraint kill counts match the narrowed baseline
+		// bit for bit, because skipped iterations are credited as kills.
 		combos := []struct {
-			label string
-			opts  plan.Options
+			label     string
+			opts      plan.Options
+			narrowOff bool
 		}{
-			{"nohoist", plan.Options{DisableHoisting: true}},
-			{"nocse", plan.Options{DisableCSE: true}},
-			{"nohoist+nocse", plan.Options{DisableHoisting: true, DisableCSE: true}},
+			{"nohoist", plan.Options{DisableHoisting: true}, false},
+			{"nocse", plan.Options{DisableCSE: true}, false},
+			{"nohoist+nocse", plan.Options{DisableHoisting: true, DisableCSE: true}, false},
+			{"nonarrow", plan.Options{DisableNarrowing: true}, true},
+			{"nonarrow+nocse", plan.Options{DisableNarrowing: true, DisableCSE: true}, true},
 		}
 		for _, c := range combos {
 			progC, err := plan.Compile(s, c.opts)
@@ -196,6 +202,16 @@ func TestFuzzCrossEngine(t *testing.T) {
 			if c.opts.DisableCSE && statsC.TotalTempEvals()+statsC.TotalTempHits() != 0 {
 				t.Fatalf("trial %d %s: DisableCSE run counted temps: evals %v hits %v",
 					trial, c.label, statsC.TempEvals, statsC.TempHits)
+			}
+			if c.narrowOff {
+				if statsC.TotalIterationsSkipped() != 0 {
+					t.Fatalf("trial %d %s: DisableNarrowing run skipped iterations: %v",
+						trial, c.label, statsC.IterationsSkipped)
+				}
+				if !reflect.DeepEqual(statsC.Kills, wantStats.Kills) {
+					t.Fatalf("trial %d %s: kill parity broken: %v, narrowed baseline %v\nspace:\n%s",
+						trial, c.label, statsC.Kills, wantStats.Kills, prog.Describe())
+				}
 			}
 			for _, e := range []Engine{NewInterp(progC), NewVM(progC)} {
 				gotE, stE, err := collectWithProtocol(e, ProtoDefault)
@@ -252,6 +268,11 @@ func assertParallelAgrees(t *testing.T, e Engine, want *Stats, opts Options, lab
 		!reflect.DeepEqual(st.TempHits, want.TempHits) {
 		t.Fatalf("%s: parallel temp counters diverge\nevals %v want %v\nhits %v want %v\nspace:\n%s",
 			label, st.TempEvals, want.TempEvals, st.TempHits, want.TempHits, prog.Describe())
+	}
+	if !reflect.DeepEqual(st.BoundsNarrowed, want.BoundsNarrowed) ||
+		!reflect.DeepEqual(st.IterationsSkipped, want.IterationsSkipped) {
+		t.Fatalf("%s: parallel narrowing counters diverge\nnarrowed %v want %v\nskipped %v want %v\nspace:\n%s",
+			label, st.BoundsNarrowed, want.BoundsNarrowed, st.IterationsSkipped, want.IterationsSkipped, prog.Describe())
 	}
 	if st.Stopped {
 		t.Fatalf("%s: complete run reported Stopped", label)

@@ -455,6 +455,40 @@ func (s *interpState) loop(d int) bool {
 	return iterateMap(lp.Domain, s.env, func(v int64) bool { return s.body(d, v) })
 }
 
+// interpBoundEval adapts the associative environment to the narrowing
+// helper: bound expressions are loop-variable-free, probes bind the loop
+// name to the trial value first.
+type interpBoundEval struct {
+	s    *interpState
+	name string
+}
+
+func (b *interpBoundEval) boundInt(e expr.Expr) int64 {
+	v, ok := evalMap(e, b.s.env).AsInt()
+	if !ok {
+		panic(&expr.TypeError{Op: "bound", A: evalMap(e, b.s.env)})
+	}
+	return v
+}
+
+func (b *interpBoundEval) probeRejects(p *plan.Probe, v int64) bool {
+	b.s.env[b.name] = expr.IntVal(v)
+	return evalMap(p.Pred, b.s.env).Truthy()
+}
+
+// narrow tightens an ascending range through the loop's compiled bounds
+// before any protocol machinery runs. Descending and dynamic-step loops
+// are never narrowed (the plan only attaches Bounds to provably ascending
+// ranges, but the runtime re-checks the sign it actually evaluated).
+func (s *interpState) narrow(d int, start, stop, step int64) (int64, int64) {
+	lp := s.in.prog.Loops[d]
+	if lp.Bounds == nil || step <= 0 {
+		return start, stop
+	}
+	be := &interpBoundEval{s: s, name: lp.Iter.Name}
+	return narrowRangeAST(lp.Bounds, be, start, stop, step, s.stats, d)
+}
+
 // loopWhile evaluates the loop condition and increment as expression trees
 // every iteration — Figure 17's `while` variant, the slowest Python form
 // because all loop control (compare, add, both name lookups) goes through
@@ -464,6 +498,7 @@ func (s *interpState) loopWhile(d int, r *space.RangeDomain) bool {
 	if !ok {
 		return true
 	}
+	start, stop = s.narrow(d, start, stop, step)
 	name := s.in.prog.Loops[d].Iter.Name
 	stopName, stepName := name+"$stop", name+"$step"
 	s.env[name] = expr.IntVal(start)
@@ -493,6 +528,7 @@ func (s *interpState) loopRange(d int, r *space.RangeDomain) bool {
 	if !ok {
 		return true
 	}
+	start, stop = s.narrow(d, start, stop, step)
 	var vals []int64
 	if step > 0 {
 		for v := start; v < stop; v += step {
@@ -519,6 +555,7 @@ func (s *interpState) loopXRange(d int, r *space.RangeDomain) bool {
 	if !ok {
 		return true
 	}
+	start, stop = s.narrow(d, start, stop, step)
 	if step > 0 {
 		for v := start; v < stop; v += step {
 			if !s.body(d, v) {

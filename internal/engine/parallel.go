@@ -266,7 +266,9 @@ func expandTiles(prog *plan.Program, env *expr.Env, in *tileSet, d int, st *Stat
 		buf = buf[:0]
 		collect := func(v int64) bool { buf = append(buf, v); return true }
 		if lp.Iter.Kind == space.ExprIter {
-			lp.Domain.Iterate(env, collect)
+			if !collectNarrowed(lp, env, st, d, collect) {
+				lp.Domain.Iterate(env, collect)
+			}
 		} else {
 			lp.Iter.Iterate(env, lp.ArgSlots, collect)
 		}

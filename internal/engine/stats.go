@@ -53,6 +53,17 @@ type Stats struct {
 	TempEvals []int64
 	TempHits  []int64
 
+	// BoundsNarrowed[d] counts loop entries at depth d where the plan's
+	// bounds-compilation pass actually tightened the range (at least one
+	// iteration was skipped); IterationsSkipped[d] counts the body entries
+	// those tightenings avoided. Skipped iterations are still credited to
+	// the absorbed constraints' Checks/Kills, so funnel totals match a
+	// run without narrowing; these counters only expose how much work the
+	// narrowed ranges saved. Both stay zero when the program was compiled
+	// with DisableNarrowing.
+	BoundsNarrowed    []int64
+	IterationsSkipped []int64
+
 	// Survivors counts tuples that passed every constraint.
 	Survivors int64
 
@@ -73,11 +84,13 @@ type Stats struct {
 // NewStats returns zeroed counters sized for prog.
 func NewStats(prog *plan.Program) *Stats {
 	return &Stats{
-		LoopVisits: make([]int64, len(prog.Loops)),
-		Checks:     make([]int64, len(prog.Constraints)),
-		Kills:      make([]int64, len(prog.Constraints)),
-		TempEvals:  make([]int64, len(prog.Loops)+1),
-		TempHits:   make([]int64, len(prog.Loops)+1),
+		LoopVisits:        make([]int64, len(prog.Loops)),
+		Checks:            make([]int64, len(prog.Constraints)),
+		Kills:             make([]int64, len(prog.Constraints)),
+		TempEvals:         make([]int64, len(prog.Loops)+1),
+		TempHits:          make([]int64, len(prog.Loops)+1),
+		BoundsNarrowed:    make([]int64, len(prog.Loops)),
+		IterationsSkipped: make([]int64, len(prog.Loops)),
 	}
 }
 
@@ -93,6 +106,10 @@ func (s *Stats) Merge(other *Stats) {
 	for i := range s.TempEvals {
 		s.TempEvals[i] += other.TempEvals[i]
 		s.TempHits[i] += other.TempHits[i]
+	}
+	for i := range s.BoundsNarrowed {
+		s.BoundsNarrowed[i] += other.BoundsNarrowed[i]
+		s.IterationsSkipped[i] += other.IterationsSkipped[i]
 	}
 	s.Survivors += other.Survivors
 	s.Stopped = s.Stopped || other.Stopped
@@ -128,6 +145,16 @@ func (s *Stats) TotalTempHits() int64 {
 	return t
 }
 
+// TotalIterationsSkipped returns the number of loop-body entries the
+// narrowed ranges avoided, across depths.
+func (s *Stats) TotalIterationsSkipped() int64 {
+	var t int64
+	for _, v := range s.IterationsSkipped {
+		t += v
+	}
+	return t
+}
+
 // ExprOps derives the total number of expression-tree nodes the run
 // evaluated: for each step, the node count of its expression times the
 // number of times the step executed (loop visits at its depth, minus the
@@ -146,7 +173,15 @@ func (s *Stats) ExprOps(prog *plan.Program) int64 {
 				total += int64(exprNodes(st.Expr)) * live
 			}
 			if st.Kind == plan.CheckStep {
-				live -= s.Kills[st.StatsID]
+				// A partially-absorbed constraint's Checks/Kills include
+				// iterations the narrowed range skipped; those never ran the
+				// residual check, so only the body kills reduce live. The
+				// skipped share is exactly the checks beyond the live count.
+				skipped := s.Checks[st.StatsID] - live
+				if skipped < 0 {
+					skipped = 0
+				}
+				live -= s.Kills[st.StatsID] - skipped
 			}
 		}
 	}
@@ -233,6 +268,14 @@ func (s *Stats) FunnelReport(prog *plan.Program) string {
 	if len(prog.Temps) > 0 {
 		fmt.Fprintf(&b, "expression temps: %d hoisted, %d evals, %d reuse hits\n",
 			len(prog.Temps), s.TotalTempEvals(), s.TotalTempHits())
+	}
+	if skipped := s.TotalIterationsSkipped(); skipped > 0 {
+		var narrowed int64
+		for _, v := range s.BoundsNarrowed {
+			narrowed += v
+		}
+		fmt.Fprintf(&b, "bounds narrowing: %d loop entries tightened, %d iterations skipped\n",
+			narrowed, skipped)
 	}
 	return b.String()
 }

@@ -123,6 +123,21 @@ func checkProgramStrings(prog *plan.Program) error {
 		if err := checkSteps(lp.Steps); err != nil {
 			return err
 		}
+		if lp.Bounds == nil {
+			continue
+		}
+		for _, g := range lp.Bounds.Groups {
+			for _, e := range append(append([]expr.Expr{}, g.Lo...), g.Hi...) {
+				if err := checkNoStringRefs(e, bad); err != nil {
+					return fmt.Errorf("bounds %s: %w", g.Name, err)
+				}
+			}
+			for _, p := range g.Probes {
+				if err := checkNoStringRefs(p.Pred, bad); err != nil {
+					return fmt.Errorf("bounds %s: %w", g.Name, err)
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -64,22 +64,23 @@ const (
 	opMinN // pop a values, push min
 	opMaxN // pop a values, push max
 	opAbs
-	opTable   // pop col, pop row, push tables[a][row][col] or default b
-	opJmp     // pc = a
-	opJz      // pop; if zero pc = a
-	opJnz     // pop; if nonzero pc = a
-	opForPrep // pop step->reg[c], stop->reg[b], start->reg[a]
-	opForTest // if !(reg[c]>0 ? reg[a]<reg[b] : (reg[c]<0 ? reg[a]>reg[b] : false)) pc = d
-	opForIncr // reg[a] += reg[c]; pc = d
-	opHostDom // bufs[a] = materialize hostDoms[a]; reg[b] = 0 (cursor)
-	opForList // if reg[b] >= len(bufs[a]) pc = d else reg[c] = bufs[a][reg[b]]
-	opListInc // reg[b]++; pc = d
-	opVisit   // stats.LoopVisits[a]++
-	opCheck   // pop; stats.Checks[a]++; if nonzero { stats.Kills[a]++; pc = b }
-	opHostChk // if deferredChks[a](reg) { stats.Kills[a]++; pc = b } (checks counted too)
+	opTable    // pop col, pop row, push tables[a][row][col] or default b
+	opJmp      // pc = a
+	opJz       // pop; if zero pc = a
+	opJnz      // pop; if nonzero pc = a
+	opForPrep  // pop step->reg[c], stop->reg[b], start->reg[a]
+	opForTest  // if !(reg[c]>0 ? reg[a]<reg[b] : (reg[c]<0 ? reg[a]>reg[b] : false)) pc = d
+	opForIncr  // reg[a] += reg[c]; pc = d
+	opHostDom  // bufs[a] = materialize hostDoms[a]; reg[b] = 0 (cursor)
+	opForList  // if reg[b] >= len(bufs[a]) pc = d else reg[c] = bufs[a][reg[b]]
+	opListInc  // reg[b]++; pc = d
+	opVisit    // stats.LoopVisits[a]++
+	opCheck    // pop; stats.Checks[a]++; if nonzero { stats.Kills[a]++; pc = b }
+	opHostChk  // if deferredChks[a](reg) { stats.Kills[a]++; pc = b } (checks counted too)
 	opSurvive  // survivor bookkeeping; may halt enumeration
 	opTempEval // stats.TempEvals[a]++ (optimizer temp assignment executed)
 	opTempHits // stats.TempHits[a] += b (temp-slot reads in the step just run)
+	opNarrow   // narrows[a]: tighten the freshly prepped loop range in place
 )
 
 type instr struct {
@@ -96,8 +97,18 @@ type vmCode struct {
 	hostDoms   []compiledDomain
 	deferred   []func(r []int64) bool
 	deferIDs   []int32 // stats id per deferred check
+	narrows    []vmNarrow
 	nregs      int
 	tupleSlots []int32
+}
+
+// vmNarrow is one opNarrow site: which loop registers to tighten and the
+// compiled bound groups to tighten them with. The closures run as host
+// calls over the register file, the way non-range domains already do.
+type vmNarrow struct {
+	depth                    int32
+	varReg, stopReg, stepReg int32
+	cb                       *compiledBounds
 }
 
 type vmAssembler struct {
@@ -502,6 +513,17 @@ func (a *vmAssembler) emitLoop(d int) {
 	a.emitExpr(rangeDomain.Stop)
 	a.emitExpr(rangeDomain.Step)
 	a.emit(instr{op: opForPrep, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+	if lp.Bounds != nil {
+		cb, err := compileLoopBounds(lp.Bounds, lp.Slot)
+		if err != nil {
+			a.fail(fmt.Errorf("vm: loop %s bounds: %w", lp.Iter.Name, err))
+			return
+		}
+		a.code.narrows = append(a.code.narrows, vmNarrow{
+			depth: int32(d), varReg: varReg, stopReg: a.stopT[d], stepReg: a.stepT[d], cb: cb,
+		})
+		a.emit(instr{op: opNarrow, a: int32(len(a.code.narrows) - 1)})
+	}
 
 	stepLit, stepIsLit := rangeDomain.Step.(*expr.Lit)
 	switch a.protocol {
@@ -795,6 +817,12 @@ func (x *vmExec) run() {
 			stats.TempEvals[in.a]++
 		case opTempHits:
 			stats.TempHits[in.a] += int64(in.b)
+		case opNarrow:
+			nw := &code.narrows[in.a]
+			if step := reg[nw.stepReg]; step > 0 {
+				lo, hi := narrowRangeRegs(nw.cb, reg, reg[nw.varReg], reg[nw.stopReg], step, stats, int(nw.depth))
+				reg[nw.varReg], reg[nw.stopReg] = lo, hi
+			}
 		case opSurvive:
 			ok, last := x.ctl.claim()
 			if !ok {

@@ -142,17 +142,29 @@ func (o *optimizer) run() {
 			st.Expr = o.simplify(st.Expr)
 		}
 	})
+	o.eachBoundExpr(func(_ int, pe *expr.Expr) { *pe = o.simplify(*pe) })
+	o.eachProbe(func(p *Probe) { p.Pred = o.simplify(p.Pred) })
 	o.eachStep(func(_, _ int, st *Step) {
 		if st.Expr != nil {
 			o.countNodes(st.Expr)
 		}
 	})
+	o.eachBoundExpr(func(_ int, pe *expr.Expr) { o.countNodes(*pe) })
 	o.eachStep(func(depth, idx int, st *Step) {
 		if st.Expr == nil {
 			return
 		}
 		o.curDepth, o.curIdx = depth, idx
 		st.Expr = o.rewrite(st.Expr, true, depth)
+	})
+	// Bound expressions run at loop entry, which is the tail of the
+	// parent level's body; temps they need are placed there (or hoisted
+	// further out when the path is check-free). Probe predicates are
+	// never rewritten: they evaluate mid-search, before the loop body's
+	// temps exist.
+	o.eachBoundExpr(func(useDepth int, pe *expr.Expr) {
+		o.curDepth, o.curIdx = useDepth, o.stepsAt(useDepth)
+		*pe = o.rewrite(*pe, true, useDepth)
 	})
 	o.flush()
 
@@ -165,9 +177,69 @@ func (o *optimizer) run() {
 		}
 		st.TempRefs = o.countTempRefs(st.Expr, uses)
 	})
+	for _, lp := range o.prog.Loops {
+		if lp.Bounds == nil {
+			continue
+		}
+		n := 0
+		for gi := range lp.Bounds.Groups {
+			g := &lp.Bounds.Groups[gi]
+			for _, e := range g.Lo {
+				n += o.countTempRefs(e, uses)
+			}
+			for _, e := range g.Hi {
+				n += o.countTempRefs(e, uses)
+			}
+		}
+		lp.Bounds.TempRefs = n
+	}
 	for i := range o.prog.Temps {
 		o.prog.Temps[i].Uses = uses[o.prog.Temps[i].Slot]
 	}
+}
+
+// eachBoundExpr visits every Lo/Hi bound expression of every narrowed
+// loop; useDepth is the level the expression is evaluated at (the parent
+// of the narrowed loop: its entry is the tail of that body).
+func (o *optimizer) eachBoundExpr(fn func(useDepth int, pe *expr.Expr)) {
+	for d, lp := range o.prog.Loops {
+		if lp.Bounds == nil {
+			continue
+		}
+		for gi := range lp.Bounds.Groups {
+			g := &lp.Bounds.Groups[gi]
+			for i := range g.Lo {
+				fn(d-1, &g.Lo[i])
+			}
+			for i := range g.Hi {
+				fn(d-1, &g.Hi[i])
+			}
+		}
+	}
+}
+
+// eachProbe visits every binary-search probe of every narrowed loop.
+func (o *optimizer) eachProbe(fn func(p *Probe)) {
+	for _, lp := range o.prog.Loops {
+		if lp.Bounds == nil {
+			continue
+		}
+		for gi := range lp.Bounds.Groups {
+			g := &lp.Bounds.Groups[gi]
+			for pi := range g.Probes {
+				fn(&g.Probes[pi])
+			}
+		}
+	}
+}
+
+// stepsAt returns the current step count of a level (before flush), the
+// past-the-end insertion index bound expressions rewrite at.
+func (o *optimizer) stepsAt(depth int) int {
+	if depth < 0 {
+		return len(o.prog.Prelude)
+	}
+	return len(o.prog.Loops[depth].Steps)
 }
 
 // --- taint, canonical keys, natural depth ---------------------------------
@@ -521,7 +593,13 @@ func (o *optimizer) rewrite(e expr.Expr, strict bool, useDepth int) expr.Expr {
 	if !o.tainted(e) {
 		k := o.key(e)
 		if ref, ok := o.temps[k]; ok {
-			return ref
+			if o.depthBySlot[ref.Slot] <= useDepth {
+				return ref
+			}
+			// The temp is assigned deeper than this site evaluates (bound
+			// expressions run at the parent level's tail, before the body
+			// that defines the temp): keep the subtree inline.
+			return o.rewriteChildren(e, strict, useDepth)
 		}
 		if strict {
 			t := o.depth(e)
@@ -651,7 +729,12 @@ func (o *optimizer) flush() {
 			out = append(out, ins[i]...)
 			out = append(out, st)
 		}
-		return append(out, app...)
+		// Temps hoisted from deeper steps run at the level tail; the
+		// trailing inserts from bound-expression rewrites (past-the-end
+		// index) come last, since the next loop's entry is later still
+		// and those temps may read the deeper-hoisted ones.
+		out = append(out, app...)
+		return append(out, ins[len(steps)]...)
 	}
 	o.prog.Prelude = rebuild(-1, o.prog.Prelude)
 	for d, lp := range o.prog.Loops {

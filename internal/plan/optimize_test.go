@@ -109,7 +109,9 @@ func TestHoistToOuterDepth(t *testing.T) {
 	s.Constrain("k", space.Hard,
 		expr.Gt(expr.Add(expr.Mul(expr.NewRef("a"), expr.Add(expr.NewRef("a"), expr.IntLit(2))), expr.NewRef("b")),
 			expr.IntLit(30)))
-	prog, err := Compile(s, Options{})
+	// Narrowing would absorb k into b's upper bound and leave nothing to
+	// hoist; this test pins invariant motion on the body check itself.
+	prog, err := Compile(s, Options{DisableNarrowing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,5 +252,98 @@ func TestTempRefCounts(t *testing.T) {
 	}
 	if total != wantUses || total == 0 {
 		t.Errorf("sum of step TempRefs = %d, sum of TempDef.Uses = %d; want equal and > 0", total, wantUses)
+	}
+}
+
+// Temps and loop-bound expressions must only read slots assigned at or
+// above the depth they evaluate at. This distilled two real bugs: a temp
+// falling back to its use depth while a shallower temp references the
+// same subtree, and a narrowing bound expression (evaluated at loop
+// entry, i.e. the parent depth) reusing a temp assigned inside the loop
+// body it narrows.
+func TestNoForwardSlotReads(t *testing.T) {
+	ii := func() expr.Expr { return expr.Mul(expr.NewRef("i"), expr.NewRef("i")) }
+	s := space.New()
+	s.IntSetting("n", 8)
+	s.Range("i", expr.IntLit(1), expr.IntLit(3))
+	s.Range("j", expr.IntLit(1), expr.IntLit(3))
+	s.Range("k", expr.IntLit(1), expr.IntLit(3))
+	s.Constrain("cj", space.Hard, expr.Ne(expr.NewRef("j"), expr.IntLit(2)))
+	s.Derived("x", expr.Add(ii(), expr.NewRef("k")))
+	s.Derived("y", expr.Sub(ii(), expr.NewRef("k")))
+	s.Derived("u", expr.Add(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+	s.Derived("v", expr.Sub(expr.Mul(ii(), expr.NewRef("j")), expr.NewRef("k")))
+	s.Constrain("cu", space.Hard, expr.Gt(expr.NewRef("u"), expr.IntLit(5)))
+
+	prog, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// slot -> depth of the step that assigns it (temps included; -1 is
+	// the prelude), and slot -> loop depth for iterator variables.
+	defDepth := map[int]int{}
+	for _, st := range prog.Prelude {
+		if st.Kind == AssignStep {
+			defDepth[st.Slot] = -1
+		}
+	}
+	loopDepth := map[int]int{}
+	for d, lp := range prog.Loops {
+		loopDepth[lp.Slot] = d
+		for _, st := range lp.Steps {
+			if st.Kind == AssignStep {
+				defDepth[st.Slot] = d
+			}
+		}
+	}
+	var refs func(e expr.Expr, fn func(*expr.Ref))
+	refs = func(e expr.Expr, fn func(*expr.Ref)) {
+		switch n := e.(type) {
+		case *expr.Ref:
+			fn(n)
+		case *expr.Unary:
+			refs(n.X, fn)
+		case *expr.Binary:
+			refs(n.L, fn)
+			refs(n.R, fn)
+		case *expr.Ternary:
+			refs(n.Cond, fn)
+			refs(n.Then, fn)
+			refs(n.Else, fn)
+		case *expr.Call:
+			for _, a := range n.Args {
+				refs(a, fn)
+			}
+		case *expr.Table2D:
+			refs(n.Row, fn)
+			refs(n.Col, fn)
+		}
+	}
+	for _, td := range prog.Temps {
+		refs(td.Expr, func(r *expr.Ref) {
+			if dd, ok := defDepth[r.Slot]; ok && dd > td.Depth {
+				t.Errorf("temp %s at depth %d reads %s (slot %d) assigned at deeper depth %d",
+					td.Name, td.Depth, r.Name, r.Slot, dd)
+			}
+		})
+	}
+	for d, lp := range prog.Loops {
+		if lp.Bounds == nil {
+			continue
+		}
+		for _, g := range lp.Bounds.Groups {
+			for _, e := range append(append([]expr.Expr{}, g.Lo...), g.Hi...) {
+				refs(e, func(r *expr.Ref) {
+					if dd, ok := defDepth[r.Slot]; ok && dd >= d {
+						t.Errorf("bounds %s on loop %d reads %s (slot %d) assigned at depth %d",
+							g.Name, d, r.Name, r.Slot, dd)
+					}
+					if ld, ok := loopDepth[r.Slot]; ok && ld >= d {
+						t.Errorf("bounds %s on loop %d reads loop variable %s of depth %d",
+							g.Name, d, r.Name, ld)
+					}
+				})
+			}
+		}
 	}
 }

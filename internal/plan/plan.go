@@ -113,6 +113,12 @@ type Loop struct {
 	// inner loop opens. Order is dependency-respecting.
 	Steps []Step
 
+	// Bounds is the compiled range-narrowing recipe for this loop (see
+	// bounds.go): constraint checks absorbed into loop-entry bound
+	// expressions and monotone binary-search probes. nil when nothing
+	// absorbed or Options.DisableNarrowing is set.
+	Bounds *LoopBounds
+
 	// Level is the DAG level set of the iterator (§X.B). Loops sharing a
 	// level may be interchanged without changing the survivor set.
 	Level int
@@ -185,6 +191,12 @@ type Options struct {
 	// hoisting, no algebraic simplification. Survivors are unchanged;
 	// redundant arithmetic returns. Exists for the CSE ablation.
 	DisableCSE bool
+
+	// DisableNarrowing skips the bounds-compilation pass (bounds.go): no
+	// checks are absorbed into loop ranges and every iteration is visited
+	// as before. Survivors and per-constraint kill counts are unchanged
+	// either way. Exists for the narrowing ablation.
+	DisableNarrowing bool
 }
 
 // Compile builds the Program for s.
@@ -459,6 +471,13 @@ func Compile(s *space.Space, opts Options) (*Program, error) {
 		attach(depth, st)
 	}
 
+	// Bounds compilation runs before the expression optimizer: absorbed
+	// checks leave the bodies (so they no longer block subexpression
+	// hoisting) and the derived bound expressions then participate in
+	// CSE and invariant motion like any other step expression.
+	if !opts.DisableNarrowing {
+		compileBounds(prog)
+	}
 	if !opts.DisableCSE {
 		optimize(prog)
 	}
@@ -685,6 +704,25 @@ func (p *Program) Describe() string {
 		default:
 			fmt.Fprintf(&b, "%sfor %s in @%s(%s):  # L%d\n", indent, lp.Iter.Name,
 				lp.Iter.Kind, strings.Join(lp.Iter.DeclaredDeps, ", "), lp.Level)
+		}
+		if lp.Bounds != nil {
+			for _, g := range lp.Bounds.Groups {
+				var parts []string
+				for _, lo := range g.Lo {
+					parts = append(parts, fmt.Sprintf("%s >= %s", lp.Iter.Name, lo))
+				}
+				for _, hi := range g.Hi {
+					parts = append(parts, fmt.Sprintf("%s < %s", lp.Iter.Name, hi))
+				}
+				for _, p := range g.Probes {
+					parts = append(parts, fmt.Sprintf("probe not (%s)", p.Pred))
+				}
+				mode := "residual"
+				if g.Full {
+					mode = "absorbed"
+				}
+				fmt.Fprintf(&b, "%s  narrow %s: %s  # %s\n", indent, g.Name, strings.Join(parts, " and "), mode)
+			}
 		}
 		for _, st := range lp.Steps {
 			writeStep(&b, indent+"  ", st)

@@ -129,6 +129,10 @@ func ASCIIFunnel(prog *plan.Program, st *engine.Stats) string {
 		fmt.Fprintf(&b, "%-28s expr temps: %d   evals: %d   reuse hits: %d\n",
 			"", len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits())
 	}
+	if skipped := st.TotalIterationsSkipped(); skipped > 0 {
+		fmt.Fprintf(&b, "%-28s skipped by bounds narrowing: %d (%.1f%% of %d would-be visits)\n",
+			"", skipped, 100*float64(skipped)/float64(skipped+st.TotalVisits()), skipped+st.TotalVisits())
+	}
 	return b.String()
 }
 

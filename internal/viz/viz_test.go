@@ -76,11 +76,18 @@ func TestASCIIFunnel(t *testing.T) {
 	prog, st := gemmRun(t)
 	out := ASCIIFunnel(prog, st)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	// Header + one row per constraint + summary + expr-temp line (the
-	// GEMM program has optimizer temps by default).
+	// Header + one row per constraint + summary + expr-temp line + bounds
+	// narrowing line (the GEMM program has optimizer temps and narrowed
+	// loop ranges by default).
 	want := len(prog.Constraints) + 2
 	if len(prog.Temps) > 0 {
 		want++
+	}
+	if st.TotalIterationsSkipped() > 0 {
+		want++
+	}
+	if !strings.Contains(out, "skipped by bounds narrowing:") {
+		t.Errorf("funnel missing bounds narrowing line:\n%s", out)
 	}
 	if len(lines) != want {
 		t.Fatalf("funnel has %d lines, want %d", len(lines), want)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchjson vet fmt examples artifacts gensweep clean
+.PHONY: all build test test-short race bench benchjson bench-compare vet fmt examples artifacts gensweep clean
 
 all: build test
 
@@ -33,6 +33,14 @@ bench:
 benchjson:
 	@test -s bench_output.txt || $(MAKE) bench
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$$(date +%F).json
+
+# Compare the current bench_output.txt against a committed snapshot:
+#   make bench-compare BASELINE=BENCH_2026-08-06.json
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-compare:
+	@test -s bench_output.txt || $(MAKE) bench
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
+	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline $(BASELINE)
 
 vet:
 	$(GO) vet ./...

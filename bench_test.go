@@ -423,6 +423,70 @@ func BenchmarkExprOptimizer(b *testing.B) {
 	}
 }
 
+// chunkPressureSpace puts residual (non-narrowable) work on a long
+// innermost loop: a derived temp recomputed per innermost value plus two
+// modulus checks bounds compilation cannot absorb. This is the structural
+// best case for chunked evaluation — the per-iteration dispatch overhead
+// the chunk amortizes dominates the actual arithmetic.
+func chunkPressureSpace() *Space {
+	s := NewSpace()
+	s.Range("a", Int(1), Int(24))
+	s.Range("bb", Int(1), Int(24))
+	s.Range("cc", Int(1), Int(512))
+	s.Derived("load", Add(Mul(Ref("a"), Ref("cc")), Mul(Ref("bb"), Ref("cc"))))
+	s.Constrain("k1", Soft, Ne(Mod(Ref("load"), Int(7)), Int(0)))
+	s.Constrain("k2", Soft, Ne(Mod(Add(Ref("load"), Ref("cc")), Int(13)), Int(3)))
+	return s
+}
+
+// BenchmarkChunkedInner sweeps the innermost-loop chunk size across every
+// backend: chunk=1 is the scalar baseline, larger sizes batch-evaluate the
+// innermost steps over a survivor bitmask (one dispatch per chunk instead
+// of one per iteration). The dense rows run the synthetic hot loop above;
+// the gemm rows run the full pruned GEMM sweep, whose innermost level is
+// mostly absorbed by bounds narrowing — the realistic (small-win) case.
+// Survivors and kill counts are identical at every chunk size; only the
+// rate moves.
+func BenchmarkChunkedInner(b *testing.B) {
+	spaces := []struct {
+		name  string
+		build func() (*Space, error)
+	}{
+		{"dense", func() (*Space, error) { return chunkPressureSpace(), nil }},
+		{"gemm", func() (*Space, error) { return gemm.Space(gensweep.GEMMConfig()) }},
+	}
+	for _, sp := range spaces {
+		s, err := sp.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := plan.Compile(s, plan.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err := engine.NewCompiled(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range []engine.Engine{engine.NewInterp(prog), engine.NewVM(prog), comp} {
+			for _, chunk := range []int{1, 8, 64, 256} {
+				b.Run(fmt.Sprintf("%s/%s/chunk%d", sp.name, e.Name(), chunk), func(b *testing.B) {
+					var st *engine.Stats
+					for i := 0; i < b.N; i++ {
+						var err error
+						st, err = e.Run(engine.Options{ChunkSize: chunk})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(st.TotalVisits())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mit/s")
+					b.ReportMetric(float64(st.ChunksEvaluated), "chunks/op")
+				})
+			}
+		}
+	}
+}
+
 // narrowPressureSpace puts absorbable monotone constraints on the hot
 // innermost level: a lower bound tied to the outer iterator and a
 // monotone product cap. Bounds compilation turns both into loop-range
@@ -521,6 +585,35 @@ func BenchmarkAblationFolding(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestInterpAllocSteadyState pins the interpreter's allocation behaviour:
+// after the first run warms the per-engine scratch buffers (environment,
+// range/argument staging, chunk lanes), repeated runs of the same engine
+// must not allocate per visited iteration. The bound is a small constant
+// per run — regressing to even one allocation per iteration would put the
+// figure in the tens of thousands for this space.
+func TestInterpAllocSteadyState(t *testing.T) {
+	prog, err := Compile(chunkPressureSpace(), PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 64} {
+		in := NewInterp(prog)
+		if _, err := in.Run(RunOptions{ChunkSize: chunk}); err != nil {
+			t.Fatal(err) // warm-up run owns the one-time scratch allocations
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := in.Run(RunOptions{ChunkSize: chunk}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Per-run bookkeeping (Stats, narrowing state) is allowed;
+		// per-iteration churn is not. ~295k visits in this space.
+		if allocs > 64 {
+			t.Errorf("chunk=%d: interpreter allocates %.0f times per run; want O(1) bookkeeping only", chunk, allocs)
+		}
 	}
 }
 

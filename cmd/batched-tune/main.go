@@ -31,6 +31,7 @@ func main() {
 		devName  = flag.String("device", "k40c", "device: k40c, gtx680, c2050, gtx980")
 		devJSON  = flag.String("device-json", "", "load device properties from a JSON file")
 		workers  = flag.Int("workers", 8, "parallel enumeration workers")
+		chunk    = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
 		noNarrow = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 	)
 	flag.Parse()
@@ -58,9 +59,9 @@ func main() {
 	for _, n := range ns {
 		switch *kernel {
 		case "cholesky":
-			runCholesky(dev, n, *batch, *workers, planOpts)
+			runCholesky(dev, n, *batch, *workers, *chunk, planOpts)
 		case "trsm":
-			runTRSM(dev, n, *nrhs, *batch, *workers, planOpts)
+			runTRSM(dev, n, *nrhs, *batch, *workers, *chunk, planOpts)
 		default:
 			fatal(fmt.Errorf("unknown kernel %q (want cholesky or trsm)", *kernel))
 		}
@@ -68,7 +69,7 @@ func main() {
 	fmt.Println("\n(speedup is Table I's 'Improvement': paper reports up to 1000% small, 300% medium)")
 }
 
-func runCholesky(dev *device.Properties, n, batch int64, workers int, planOpts plan.Options) {
+func runCholesky(dev *device.Properties, n, batch int64, workers, chunk int, planOpts plan.Options) {
 	cfg := batched.DefaultConfig(n)
 	cfg.Batch = batch
 	cfg.Device = dev
@@ -86,7 +87,7 @@ func runCholesky(dev *device.Properties, n, batch int64, workers int, planOpts p
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers})
+	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers, ChunkSize: chunk})
 	if err != nil {
 		fatal(err)
 	}
@@ -101,7 +102,7 @@ func runCholesky(dev *device.Properties, n, batch int64, workers int, planOpts p
 		k.NB, k.DimX, k.MPB, k.Unroll)
 }
 
-func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers int, planOpts plan.Options) {
+func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers, chunk int, planOpts plan.Options) {
 	cfg := batched.DefaultTRSMConfig(n)
 	cfg.NRHS = nrhs
 	cfg.Batch = batch
@@ -120,7 +121,7 @@ func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers int, planOpts
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers})
+	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers, ChunkSize: chunk})
 	if err != nil {
 		fatal(err)
 	}

@@ -47,6 +47,7 @@ func main() {
 		protoName  = flag.String("protocol", "default", "loop protocol: default, while, range, xrange, repeat")
 		workers    = flag.Int("workers", 1, "parallel enumeration workers (prefix-tile scheduling)")
 		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
+		chunk      = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
 		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
 		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer: CSE, subexpression hoisting, simplification (ablation)")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
@@ -89,7 +90,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := engine.Options{Protocol: proto, Workers: *workers, SplitDepth: *splitDepth}
+	opts := engine.Options{Protocol: proto, Workers: *workers, SplitDepth: *splitDepth, ChunkSize: *chunk}
 	if *tuples > 0 {
 		names := prog.IterNames()
 		fmt.Println(strings.Join(names, " "))
@@ -128,6 +129,10 @@ func main() {
 	if len(prog.Temps) > 0 {
 		fmt.Printf("expr optimizer: temps=%d evals=%d reuse-hits=%d exprops=%d\n",
 			len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits(), st.ExprOps(prog))
+	}
+	if st.ChunksEvaluated > 0 {
+		fmt.Printf("chunked inner loop: chunk=%d chunks=%d lanes-masked=%d\n",
+			*chunk, st.ChunksEvaluated, st.LanesMasked)
 	}
 	if skipped := st.TotalIterationsSkipped(); skipped > 0 {
 		fmt.Printf("bounds narrowing: %d iterations skipped (%.1f%% of %d would-be visits)\n",

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Compare renders a per-benchmark delta table between a committed baseline
+// snapshot and the current run: ns/op (lower is better) and the paper's
+// Mit/s quantity of merit (higher is better), with relative change.
+// Benchmarks present in only one snapshot are listed separately so a
+// renamed benchmark is never silently dropped from the comparison.
+func Compare(base, cur *Snapshot) string {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+
+	var common, onlyBase, onlyCur []string
+	for name := range curBy {
+		if _, ok := baseBy[name]; ok {
+			common = append(common, name)
+		} else {
+			onlyCur = append(onlyCur, name)
+		}
+	}
+	for name := range baseBy {
+		if _, ok := curBy[name]; !ok {
+			onlyBase = append(onlyBase, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+
+	var w strings.Builder
+	fmt.Fprintf(&w, "baseline %s vs current %s (%d common benchmarks)\n",
+		base.Date, cur.Date, len(common))
+	fmt.Fprintf(&w, "%-56s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "ns/op old", "ns/op new", "delta", "Mit/s old", "Mit/s new", "delta")
+	for _, name := range common {
+		ob, nb := baseBy[name], curBy[name]
+		fmt.Fprintf(&w, "%-56s %12s %12s %8s %10s %10s %8s\n",
+			strings.TrimPrefix(name, "Benchmark"),
+			num(ob.Metrics["ns/op"]), num(nb.Metrics["ns/op"]),
+			pct(ob.Metrics["ns/op"], nb.Metrics["ns/op"]),
+			num(ob.Metrics["Mit/s"]), num(nb.Metrics["Mit/s"]),
+			pct(ob.Metrics["Mit/s"], nb.Metrics["Mit/s"]))
+	}
+	if len(onlyCur) > 0 {
+		fmt.Fprintf(&w, "only in current: %s\n", strings.Join(onlyCur, ", "))
+	}
+	if len(onlyBase) > 0 {
+		fmt.Fprintf(&w, "only in baseline: %s\n", strings.Join(onlyBase, ", "))
+	}
+	return w.String()
+}
+
+// num formats a metric value compactly, leaving absent metrics blank.
+func num(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// pct is the relative change new-vs-old; blank when either side is absent.
+func pct(old, new float64) string {
+	if old == 0 || new == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}

@@ -9,6 +9,13 @@
 // or simply `make benchjson`. Custom b.ReportMetric units (visits/op,
 // exprops/op, temphits/op, Mit/s, ...) are carried through alongside the
 // standard ns/op, B/op and allocs/op.
+//
+// With -baseline, the current run is compared against a committed
+// snapshot instead: per-benchmark ns/op and Mit/s with relative deltas
+// (see `make bench-compare`). The input may be either bench text or an
+// earlier snapshot's .json:
+//
+//	go run ./cmd/benchjson -in bench_output.txt -baseline BENCH_2026-08-06.json
 package main
 
 import (
@@ -16,27 +23,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "bench_output.txt", "benchmark text output to parse")
-		out = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		in       = flag.String("in", "bench_output.txt", "benchmark text output (or snapshot .json) to parse")
+		out      = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		baseline = flag.String("baseline", "", "compare against this snapshot JSON instead of writing one")
 	)
 	flag.Parse()
+	snap, err := loadInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if snap.Date == "" {
+		snap.Date = time.Now().Format("2006-01-02")
+	}
+	if *baseline != "" {
+		base, err := loadSnapshot(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(Compare(base, snap))
+		return
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
-	text, err := os.ReadFile(*in)
-	if err != nil {
-		fatal(err)
-	}
-	snap, err := Parse(string(text))
-	if err != nil {
-		fatal(err)
-	}
-	snap.Date = time.Now().Format("2006-01-02")
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -45,6 +60,31 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+// loadInput reads a benchmark source: raw `go test -bench` text, or a
+// previously written snapshot when the path ends in .json.
+func loadInput(path string) (*Snapshot, error) {
+	if strings.HasSuffix(path, ".json") {
+		return loadSnapshot(path)
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(text))
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -37,6 +40,28 @@ func TestParse(t *testing.T) {
 	}
 	if snap.Benchmarks[2].Name != "BenchmarkNoSuffix" {
 		t.Errorf("suffix trim must leave plain names alone: %q", snap.Benchmarks[2].Name)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Snapshot{Date: "2026-08-06", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 2000, "Mit/s": 10}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	cur := &Snapshot{Date: "2026-08-07", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000, "Mit/s": 20}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 7}},
+	}}
+	out := Compare(base, cur)
+	for _, want := range []string{
+		"-50.0%",  // ns/op halved
+		"+100.0%", // Mit/s doubled
+		"only in current: BenchmarkNew",
+		"only in baseline: BenchmarkGone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Compare output missing %q:\n%s", want, out)
+		}
 	}
 }
 

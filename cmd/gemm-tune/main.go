@@ -42,6 +42,7 @@ func main() {
 		samples    = flag.Int("samples", 2000, "benchmark budget for -strategy sample")
 		workers    = flag.Int("workers", 8, "parallel enumeration workers")
 		splitDepth = flag.Int("split-depth", 0, "parallel tiling depth: tiles span loops 0..K-1 (0 = auto)")
+		chunk      = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
 		seed       = flag.Int64("seed", 1, "random seed for sample/hillclimb")
 		funnel     = flag.Bool("funnel", false, "print the pruning funnel instead of tuning")
 		table1     = flag.Bool("table1", false, "reproduce Table I and exit")
@@ -87,7 +88,7 @@ func main() {
 	fmt.Printf("%s on %s\n%s\n", cfg.Name(), cfg.Device.Name, s.Summary())
 
 	if *compare {
-		compareBackends(s, planOpts)
+		compareBackends(s, planOpts, *chunk)
 		return
 	}
 	if *funnel {
@@ -99,7 +100,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		st, err := eng.Run(engine.Options{Workers: *workers, SplitDepth: *splitDepth})
+		st, err := eng.Run(engine.Options{Workers: *workers, SplitDepth: *splitDepth, ChunkSize: *chunk})
 		if err != nil {
 			fatal(err)
 		}
@@ -153,7 +154,7 @@ func main() {
 	var rep *autotune.Report
 	runOpts := autotune.Options{
 		TopK: *topK, Workers: *workers, SplitDepth: *splitDepth,
-		Samples: *samples, Seed: *seed,
+		ChunkSize: *chunk, Samples: *samples, Seed: *seed,
 	}
 	switch *strategy {
 	case "exhaustive":
@@ -187,7 +188,7 @@ func main() {
 // under the interpreted, bytecode, and compiled backends, reporting the
 // speedup of generated code over the Python-model front end (the paper:
 // 66948 s vs 264 s, a 253x ratio, at full scale).
-func compareBackends(s *space.Space, planOpts plan.Options) {
+func compareBackends(s *space.Space, planOpts plan.Options, chunk int) {
 	prog, err := plan.Compile(s, planOpts)
 	if err != nil {
 		fatal(err)
@@ -201,7 +202,7 @@ func compareBackends(s *space.Space, planOpts plan.Options) {
 	var interpSec, compiledSec float64
 	for _, e := range engines {
 		start := time.Now()
-		st, err := e.Run(engine.Options{})
+		st, err := e.Run(engine.Options{ChunkSize: chunk})
 		if err != nil {
 			fatal(err)
 		}

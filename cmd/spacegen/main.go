@@ -41,6 +41,7 @@ func main() {
 		cThreads   = flag.Bool("c-threads", false, "emit the pthreads variant (C)")
 		pkg        = flag.String("pkg", "sweep", "package name (Go)")
 		funcName   = flag.String("func", "Enumerate", "function name")
+		chunk      = flag.Int("chunk", 64, "innermost-loop chunk size for emitted code (1 = scalar)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		writeGS    = flag.Bool("write-gensweep", false, "regenerate internal/gensweep/*_gen.go and exit")
 	)
@@ -64,9 +65,9 @@ func main() {
 	var src string
 	switch *lang {
 	case "c":
-		src, err = codegen.C(prog, codegen.COptions{FuncName: sanitizeC(*funcName), Main: *cMain, Threads: *cThreads})
+		src, err = codegen.C(prog, codegen.COptions{FuncName: sanitizeC(*funcName), Main: *cMain, Threads: *cThreads, ChunkSize: *chunk})
 	case "go":
-		src, err = codegen.Go(prog, codegen.GoOptions{Package: *pkg, FuncName: *funcName})
+		src, err = codegen.Go(prog, codegen.GoOptions{Package: *pkg, FuncName: *funcName, ChunkSize: *chunk})
 	default:
 		err = fmt.Errorf("unknown -lang %q (want c or go)", *lang)
 	}

@@ -68,11 +68,18 @@ func TestCmdSpacegenRoundTrip(t *testing.T) {
 	if err := os.WriteFile(spec, []byte("x = range(0, 8)\nconstraint soft odd: x % 2 == 1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Default emission chunks the innermost loop: kills are credited by
+	// popcount over the masked kill word.
 	out := runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "c", "-c-main")
-	for _, want := range []string{"#include <stdint.h>", "beast_enumerate", "st->kills[0]++"} {
+	for _, want := range []string{"#include <stdint.h>", "beast_enumerate", "st->kills[0] += beast_kc"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("generated C missing %q", want)
 		}
+	}
+	// -chunk 1 restores scalar stepping.
+	out = runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "c", "-c-main", "-chunk", "1")
+	if !strings.Contains(out, "st->kills[0]++") {
+		t.Errorf("scalar (-chunk 1) C missing %q", "st->kills[0]++")
 	}
 	out = runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "go", "-pkg", "demo")
 	if !strings.Contains(out, "package demo") || !strings.Contains(out, "func Enumerate(") {

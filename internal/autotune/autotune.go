@@ -75,6 +75,9 @@ type Options struct {
 	// SplitDepth overrides the parallel scheduler's prefix-tile depth
 	// (0 = automatic; see engine.Options.SplitDepth).
 	SplitDepth int
+	// ChunkSize batches innermost-loop evaluation during enumeration
+	// (0 = engine default, 1 = scalar; see engine.Options.ChunkSize).
+	ChunkSize int
 	// Samples is the benchmark budget for RandomSample (default 1000).
 	Samples int
 	// Seed drives the random strategies (default 1).
@@ -205,6 +208,7 @@ func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
 	st, err := eng.Run(engine.Options{
 		Workers:    opts.Workers,
 		SplitDepth: opts.SplitDepth,
+		ChunkSize:  opts.ChunkSize,
 		OnTuple: func(tuple []int64) bool {
 			score := t.Objective(tuple)
 			cp := make([]int64, len(tuple))
@@ -235,6 +239,7 @@ func (t *Tuner) runRandomSample(opts Options) (*Report, error) {
 	reservoir := make([][]int64, 0, opts.Samples)
 	var seen int64
 	st, err := eng.Run(engine.Options{
+		ChunkSize: opts.ChunkSize,
 		OnTuple: func(tuple []int64) bool {
 			seen++
 			if len(reservoir) < opts.Samples {

@@ -1,0 +1,32 @@
+package codegen
+
+import (
+	"strings"
+
+	"repro/internal/plan"
+)
+
+// genChunkSize resolves a requested chunk size for code emission: 0 or 1
+// mean scalar, larger sizes clamp to 64 so the survivor mask is a single
+// word, and programs whose innermost loop the planner marked ineligible
+// (or that have no loops) fall back to scalar silently — the emitted
+// code is semantically identical either way.
+func genChunkSize(n int, prog *plan.Program) int {
+	if n <= 1 {
+		return 0
+	}
+	if n > 64 {
+		n = 64
+	}
+	if prog.Vector == nil || !prog.Vector.Eligible {
+		return 0
+	}
+	return n
+}
+
+// lanename maps an emitted identifier (cname/goname output) to its lane
+// array: the optimizer temps' beast_ prefix folds into the beast_v_
+// namespace instead of stacking.
+func lanename(id string) string {
+	return "beast_v_" + strings.TrimPrefix(id, "beast_")
+}

@@ -135,21 +135,27 @@ func numberLines(s string) string {
 func TestGeneratedCMatchesEngine(t *testing.T) {
 	prog := compileProg(t, featureSpace(t))
 	want := engineStats(t, prog)
-	src, err := C(prog, COptions{Main: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	survivors, visits, kills := runGeneratedC(t, src)
-	if survivors != want.Survivors {
-		t.Errorf("C survivors = %d, want %d", survivors, want.Survivors)
-	}
-	if visits != want.TotalVisits() {
-		t.Errorf("C visits = %d, want %d", visits, want.TotalVisits())
-	}
-	for i, c := range prog.Constraints {
-		if kills[c.Name] != want.Kills[i] {
-			t.Errorf("C kills[%s] = %d, want %d", c.Name, kills[c.Name], want.Kills[i])
-		}
+	// Chunked emission (8 exercises block remainders, 64 the full-word
+	// mask) must produce the exact same counters as scalar emission.
+	for _, chunk := range []int{0, 8, 64} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			src, err := C(prog, COptions{Main: true, ChunkSize: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			survivors, visits, kills := runGeneratedC(t, src)
+			if survivors != want.Survivors {
+				t.Errorf("C survivors = %d, want %d", survivors, want.Survivors)
+			}
+			if visits != want.TotalVisits() {
+				t.Errorf("C visits = %d, want %d", visits, want.TotalVisits())
+			}
+			for i, c := range prog.Constraints {
+				if kills[c.Name] != want.Kills[i] {
+					t.Errorf("C kills[%s] = %d, want %d", c.Name, kills[c.Name], want.Kills[i])
+				}
+			}
+		})
 	}
 }
 
@@ -167,21 +173,23 @@ func TestGeneratedCGEMM(t *testing.T) {
 	prog := compileProg(t, s)
 	want := engineStats(t, prog)
 
-	src, err := C(prog, COptions{Main: true, Threads: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Sequential.
-	survivors, visits, _ := runGeneratedC(t, src)
-	if survivors != want.Survivors || visits != want.TotalVisits() {
-		t.Errorf("C sequential: survivors=%d visits=%d, want %d/%d",
-			survivors, visits, want.Survivors, want.TotalVisits())
-	}
-	// Multithreaded (the paper's "multithreaded as necessary" §I).
-	survivorsMT, visitsMT, _ := runGeneratedC(t, src, "4")
-	if survivorsMT != want.Survivors || visitsMT != want.TotalVisits() {
-		t.Errorf("C 4-thread: survivors=%d visits=%d, want %d/%d",
-			survivorsMT, visitsMT, want.Survivors, want.TotalVisits())
+	for _, chunk := range []int{0, 64} {
+		src, err := C(prog, COptions{Main: true, Threads: true, ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sequential.
+		survivors, visits, _ := runGeneratedC(t, src)
+		if survivors != want.Survivors || visits != want.TotalVisits() {
+			t.Errorf("C sequential chunk=%d: survivors=%d visits=%d, want %d/%d",
+				chunk, survivors, visits, want.Survivors, want.TotalVisits())
+		}
+		// Multithreaded (the paper's "multithreaded as necessary" §I).
+		survivorsMT, visitsMT, _ := runGeneratedC(t, src, "4")
+		if survivorsMT != want.Survivors || visitsMT != want.TotalVisits() {
+			t.Errorf("C 4-thread chunk=%d: survivors=%d visits=%d, want %d/%d",
+				chunk, survivorsMT, visitsMT, want.Survivors, want.TotalVisits())
+		}
 	}
 }
 
@@ -191,13 +199,14 @@ func TestGeneratedGoMatchesEngine(t *testing.T) {
 	}
 	prog := compileProg(t, featureSpace(t))
 	want := engineStats(t, prog)
-	src, err := Go(prog, GoOptions{Package: "main", FuncName: "enumerate"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mainSrc := src + `
-import "fmt"
-
+	for _, chunk := range []int{0, 64} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			src, err := Go(prog, GoOptions{Package: "main", FuncName: "enumerate", ChunkSize: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Go requires imports before other decls; splice fmt in.
+			mainSrc := strings.Replace(src, "package main\n", "package main\n\nimport \"fmt\"\n", 1) + `
 func main() {
 	st := enumerate(nil)
 	var visits int64
@@ -208,45 +217,35 @@ func main() {
 	fmt.Println("visits", visits)
 }
 `
-	// Go requires imports before other decls; assemble properly instead.
-	mainSrc = strings.Replace(src, "package main\n", "package main\n\nimport \"fmt\"\n", 1) + `
-func main() {
-	st := enumerate(nil)
-	var visits int64
-	for _, v := range st.Visits {
-		visits += v
-	}
-	fmt.Println("survivors", st.Survivors)
-	fmt.Println("visits", visits)
-}
-`
-	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gensweep\n\ngo 1.23\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(mainSrc), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	cmd := exec.Command("go", "run", ".")
-	cmd.Dir = dir
-	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		t.Fatalf("go run failed: %v\n%s\n--- source ---\n%s", err, out, numberLines(mainSrc))
-	}
-	var survivors, visits int64
-	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
-		f := strings.Fields(line)
-		if len(f) == 2 && f[0] == "survivors" {
-			survivors, _ = strconv.ParseInt(f[1], 10, 64)
-		}
-		if len(f) == 2 && f[0] == "visits" {
-			visits, _ = strconv.ParseInt(f[1], 10, 64)
-		}
-	}
-	if survivors != want.Survivors || visits != want.TotalVisits() {
-		t.Errorf("generated Go: survivors=%d visits=%d, want %d/%d",
-			survivors, visits, want.Survivors, want.TotalVisits())
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gensweep\n\ngo 1.23\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(mainSrc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command("go", "run", ".")
+			cmd.Dir = dir
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s\n--- source ---\n%s", err, out, numberLines(mainSrc))
+			}
+			var survivors, visits int64
+			for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+				f := strings.Fields(line)
+				if len(f) == 2 && f[0] == "survivors" {
+					survivors, _ = strconv.ParseInt(f[1], 10, 64)
+				}
+				if len(f) == 2 && f[0] == "visits" {
+					visits, _ = strconv.ParseInt(f[1], 10, 64)
+				}
+			}
+			if survivors != want.Survivors || visits != want.TotalVisits() {
+				t.Errorf("generated Go: survivors=%d visits=%d, want %d/%d",
+					survivors, visits, want.Survivors, want.TotalVisits())
+			}
+		})
 	}
 }
 
@@ -344,7 +343,7 @@ func TestDocsSweepArtifactInSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := compileProg(t, s)
-	want, err := C(prog, COptions{FuncName: "beast_enumerate", Main: true, Threads: true})
+	want, err := C(prog, COptions{FuncName: "beast_enumerate", Main: true, Threads: true, ChunkSize: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -115,19 +115,22 @@ func TestFuzzGeneratedCAgainstEngine(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		src, err := C(prog, COptions{Main: true})
+		// Alternate scalar and chunked emission across trials (chunk 8
+		// exercises remainder blocks; chunk 64 the full mask word).
+		chunk := [3]int{0, 8, 64}[trial%3]
+		src, err := C(prog, COptions{Main: true, ChunkSize: chunk})
 		if err != nil {
 			t.Fatalf("trial %d: C generation: %v\n%s", trial, err, prog.Describe())
 		}
 		survivors, visits, kills := runGeneratedC(t, src)
 		if survivors != want.Survivors || visits != want.TotalVisits() {
-			t.Fatalf("trial %d: C survivors/visits = %d/%d, engine = %d/%d\nnest:\n%s",
-				trial, survivors, visits, want.Survivors, want.TotalVisits(), prog.Describe())
+			t.Fatalf("trial %d (chunk=%d): C survivors/visits = %d/%d, engine = %d/%d\nnest:\n%s",
+				trial, chunk, survivors, visits, want.Survivors, want.TotalVisits(), prog.Describe())
 		}
 		for i, c := range prog.Constraints {
 			if kills[c.Name] != want.Kills[i] {
-				t.Fatalf("trial %d: C kills[%s] = %d, engine = %d\nnest:\n%s",
-					trial, c.Name, kills[c.Name], want.Kills[i], prog.Describe())
+				t.Fatalf("trial %d (chunk=%d): C kills[%s] = %d, engine = %d\nnest:\n%s",
+					trial, chunk, c.Name, kills[c.Name], want.Kills[i], prog.Describe())
 			}
 		}
 	}

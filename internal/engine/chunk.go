@@ -1,0 +1,70 @@
+package engine
+
+import "math/bits"
+
+// maxChunk bounds Options.ChunkSize; larger requests are clamped. The
+// generators cap at 64 (one mask word); the engines allow wider blocks
+// for the chunk-size sweep benchmarks.
+const maxChunk = 1024
+
+// normChunk normalizes a requested chunk size: 0 and 1 mean scalar
+// (returns 1), anything above maxChunk is clamped.
+func normChunk(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > maxChunk {
+		return maxChunk
+	}
+	return n
+}
+
+// laneMask is the survivor bitmask of one innermost chunk: bit i live
+// means lane i has not been killed by a residual check yet.
+type laneMask []uint64
+
+func newLaneMask(lanes int) laneMask { return make(laneMask, (lanes+63)/64) }
+
+// setFirst marks lanes [0, k) live and every other lane dead.
+func (m laneMask) setFirst(k int) {
+	for w := range m {
+		switch {
+		case k >= 64:
+			m[w] = ^uint64(0)
+			k -= 64
+		case k > 0:
+			m[w] = (uint64(1) << uint(k)) - 1
+			k = 0
+		default:
+			m[w] = 0
+		}
+	}
+}
+
+func (m laneMask) get(i int) bool { return m[i>>6]&(1<<uint(i&63)) != 0 }
+func (m laneMask) clear(i int)    { m[i>>6] &^= 1 << uint(i&63) }
+
+// count returns the number of live lanes.
+func (m laneMask) count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits live lanes in ascending order; f returning false stops
+// the walk and makes forEach return false.
+func (m laneMask) forEach(f func(lane int) bool) bool {
+	for w, word := range m {
+		base := w << 6
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			word &^= 1 << uint(i)
+			if !f(base + i) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// collectChunked enumerates sequentially with the given chunk size and
+// returns every surviving tuple.
+func collectChunked(e Engine, chunk int) ([][]int64, *Stats, error) {
+	var out [][]int64
+	st, err := e.Run(Options{ChunkSize: chunk, OnTuple: func(tu []int64) bool {
+		cp := make([]int64, len(tu))
+		copy(cp, tu)
+		out = append(out, cp)
+		return true
+	}})
+	return out, st, err
+}
+
+// assertChunkAgrees compares a chunked run's statistics against the
+// scalar baseline: everything except the chunk-bookkeeping counters
+// (ChunksEvaluated/LanesMasked are zero in scalar mode and depend on
+// the parallel schedule) must match bit for bit.
+func assertChunkAgrees(t *testing.T, st, want *Stats, label string, prog *plan.Program) {
+	t.Helper()
+	if st.Survivors != want.Survivors ||
+		!reflect.DeepEqual(st.LoopVisits, want.LoopVisits) ||
+		!reflect.DeepEqual(st.Checks, want.Checks) ||
+		!reflect.DeepEqual(st.Kills, want.Kills) {
+		t.Fatalf("%s: chunked stats diverge\nsurvivors %d want %d\nvisits %v want %v\nchecks %v want %v\nkills %v want %v\nspace:\n%s",
+			label, st.Survivors, want.Survivors, st.LoopVisits, want.LoopVisits,
+			st.Checks, want.Checks, st.Kills, want.Kills, prog.Describe())
+	}
+	if !reflect.DeepEqual(st.TempEvals, want.TempEvals) ||
+		!reflect.DeepEqual(st.TempHits, want.TempHits) {
+		t.Fatalf("%s: chunked temp counters diverge\nevals %v want %v\nhits %v want %v\nspace:\n%s",
+			label, st.TempEvals, want.TempEvals, st.TempHits, want.TempHits, prog.Describe())
+	}
+	if !reflect.DeepEqual(st.BoundsNarrowed, want.BoundsNarrowed) ||
+		!reflect.DeepEqual(st.IterationsSkipped, want.IterationsSkipped) {
+		t.Fatalf("%s: chunked narrowing counters diverge\nnarrowed %v want %v\nskipped %v want %v\nspace:\n%s",
+			label, st.BoundsNarrowed, want.BoundsNarrowed, st.IterationsSkipped, want.IterationsSkipped, prog.Describe())
+	}
+	if st.Stopped {
+		t.Fatalf("%s: complete run reported Stopped", label)
+	}
+}
+
+// TestFuzzChunkGrid is the chunked-execution soundness grid: random
+// spaces crossed with chunk size {1, 8, 64} x planner ablations
+// (-no-cse, -no-narrow) x workers {1, 4}, asserting every backend's
+// chunked runs produce the identical survivor tuple stream, kill
+// counts, and temp-counter statistics as scalar stepping.
+func TestFuzzChunkGrid(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(64)) // the default chunk size
+	planCombos := []struct {
+		label string
+		opts  plan.Options
+	}{
+		{"default", plan.Options{}},
+		{"nocse", plan.Options{DisableCSE: true}},
+		{"nonarrow", plan.Options{DisableNarrowing: true}},
+		{"nocse+nonarrow", plan.Options{DisableCSE: true, DisableNarrowing: true}},
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomSpace(rng)
+		for _, pc := range planCombos {
+			prog, err := plan.Compile(s, pc.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pc.label, err)
+			}
+			comp, err := NewCompiled(prog)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pc.label, err)
+			}
+			want, wantStats, err := CollectTuples(comp, 0)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pc.label, err)
+			}
+			if wantStats.TotalVisits() > 500_000 {
+				continue
+			}
+			innerVisits := wantStats.LoopVisits[len(wantStats.LoopVisits)-1]
+			for _, chunk := range []int{1, 8, 64} {
+				for _, e := range []Engine{comp, NewInterp(prog), NewVM(prog)} {
+					label := fmt.Sprintf("trial %d %s %s chunk=%d", trial, pc.label, e.Name(), chunk)
+					got, st, err := collectChunked(e, chunk)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: %d tuples, want %d\nspace:\n%s",
+							label, len(got), len(want), prog.Describe())
+					}
+					assertChunkAgrees(t, st, wantStats, label, prog)
+					if chunk > 1 && innerVisits > 0 && st.ChunksEvaluated == 0 {
+						t.Fatalf("%s: chunked run evaluated no chunks (fell back to scalar)\nspace:\n%s",
+							label, prog.Describe())
+					}
+					if chunk == 1 && st.ChunksEvaluated+st.LanesMasked != 0 {
+						t.Fatalf("%s: scalar run counted chunks (%d) or masked lanes (%d)",
+							label, st.ChunksEvaluated, st.LanesMasked)
+					}
+					st4, err := e.Run(Options{Workers: 4, ChunkSize: chunk})
+					if err != nil {
+						t.Fatalf("%s workers=4: %v", label, err)
+					}
+					assertChunkAgrees(t, st4, wantStats, label+" workers=4", prog)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkStringFallback pins the interpreter's eligibility bailout: a
+// program whose innermost steps still contain string operands (folding
+// disabled) must run scalar under any requested chunk size, with
+// unchanged results.
+func TestChunkStringFallback(t *testing.T) {
+	s := space.New()
+	s.StrSetting("mode", "nn")
+	s.Range("i", expr.IntLit(0), expr.IntLit(10))
+	s.Range("j", expr.IntLit(0), expr.IntLit(10))
+	s.Constrain("modecheck", space.Hard,
+		expr.And(expr.Eq(expr.NewRef("mode"), expr.StrLit("nn")), expr.Gt(expr.NewRef("j"), expr.IntLit(4))))
+	prog, err := plan.Compile(s, plan.Options{DisableFolding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Vector != nil && prog.Vector.Eligible {
+		t.Fatalf("string-bearing innermost step marked chunk-eligible")
+	}
+	e := NewInterp(prog)
+	want, wantStats, err := CollectTuples(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := collectChunked(e, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback changed survivors: %d vs %d", len(got), len(want))
+	}
+	assertChunkAgrees(t, st, wantStats, "string fallback", prog)
+	if st.ChunksEvaluated != 0 {
+		t.Fatalf("ineligible program still chunked: %d chunks", st.ChunksEvaluated)
+	}
+}

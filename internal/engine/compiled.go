@@ -509,6 +509,7 @@ type compiledState struct {
 	opts  Options
 	ctl   *runCtl
 	tuple []int64
+	chunk *compiledChunk // non-nil when the innermost loop runs chunked
 }
 
 func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
@@ -522,6 +523,13 @@ func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
 	}
 	for _, in := range c.initInts {
 		state.reg[in.slot] = in.v
+	}
+	if size := normChunk(opts.ChunkSize); size > 1 {
+		// Build errors only mean "not chunkable" (the scalar compile of
+		// the same expressions already succeeded); fall back silently.
+		if ch, err := c.newChunk(size); err == nil {
+			state.chunk = ch
+		}
 	}
 	return state
 }
@@ -655,6 +663,9 @@ func (s *compiledState) body(d int, v int64) bool {
 }
 
 func (s *compiledState) loop(d int) bool {
+	if s.chunk != nil && d == s.chunk.depth {
+		return s.loopChunk(d)
+	}
 	lp := &s.c.loops[d]
 	if lp.rng != nil {
 		start, stop, step := lp.rng.span(s.reg)

@@ -83,6 +83,16 @@ type Options struct {
 	// exactly min(Limit, survivors) — never Workers x Limit. Which tuples
 	// fill the quota is scheduling-dependent when Workers > 1.
 	Limit int64
+
+	// ChunkSize > 1 batches the innermost loop: the deepest variable is
+	// materialized in blocks of up to ChunkSize values and every residual
+	// step — temps, pruning guards, tuple fields — is evaluated over the
+	// whole block with a survivor bitmask that short-circuits downstream
+	// steps for killed lanes. Survivor tuples, kill counts, and all Stats
+	// counters are bit-identical to scalar stepping on complete runs (an
+	// early stop may over-count checks by at most one partial chunk).
+	// 0 or 1 selects scalar stepping; the CLIs default to 64.
+	ChunkSize int
 }
 
 // Engine enumerates a compiled program, counting and pruning.

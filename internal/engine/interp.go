@@ -260,6 +260,23 @@ type interpState struct {
 	opts  Options
 	ctl   *runCtl
 	tuple []int64
+	chunk *interpChunk // non-nil when the innermost loop may run chunked
+
+	// Reused scratch, so the hot loop stops allocating: deferred-call
+	// argument values, per-depth ProtoRange value lists, per-depth
+	// iterator-argument buffers, and per-depth ProtoWhile control trees.
+	argBuf     []expr.Value
+	rangeBuf   [][]int64
+	iterArgBuf [][]expr.Value
+	whileCtl   []whileControl
+}
+
+// whileControl caches the expression trees ProtoWhile drives a range
+// loop with; building them once per depth instead of once per loop entry
+// removes the interpreter's main allocation churn.
+type whileControl struct {
+	stopName, stepName   string
+	ltCond, gtCond, incr expr.Expr
 }
 
 func (in *Interp) newState(opts Options, ctl *runCtl) *interpState {
@@ -267,14 +284,49 @@ func (in *Interp) newState(opts Options, ctl *runCtl) *interpState {
 	for _, s := range in.prog.Settings {
 		env[s.Name] = s.V
 	}
-	return &interpState{
-		in:    in,
-		env:   env,
-		stats: NewStats(in.prog),
-		opts:  opts,
-		ctl:   ctl,
-		tuple: make([]int64, len(in.prog.Loops)),
+	st := &interpState{
+		in:         in,
+		env:        env,
+		stats:      NewStats(in.prog),
+		opts:       opts,
+		ctl:        ctl,
+		tuple:      make([]int64, len(in.prog.Loops)),
+		rangeBuf:   make([][]int64, len(in.prog.Loops)),
+		iterArgBuf: make([][]expr.Value, len(in.prog.Loops)),
+		whileCtl:   make([]whileControl, len(in.prog.Loops)),
 	}
+	if size := normChunk(opts.ChunkSize); size > 1 {
+		st.chunk = in.newChunk(size)
+	}
+	return st
+}
+
+// deferredArgs fills the shared argument scratch with the named
+// environment values. Valid until the next deferred call; host
+// predicates receive it for the duration of one call only.
+func (s *interpState) deferredArgs(deps []string) []expr.Value {
+	if cap(s.argBuf) < len(deps) {
+		s.argBuf = make([]expr.Value, len(deps))
+	}
+	args := s.argBuf[:len(deps)]
+	for i, dep := range deps {
+		args[i] = s.env[dep]
+	}
+	return args
+}
+
+// iterArgs fills depth d's iterator-argument buffer (per depth, because
+// a closure iterator may keep reading it while inner loops run).
+func (s *interpState) iterArgs(d int, lp *plan.Loop) []expr.Value {
+	deps := lp.Iter.DeclaredDeps
+	if cap(s.iterArgBuf[d]) < len(deps) {
+		s.iterArgBuf[d] = make([]expr.Value, len(deps))
+	}
+	args := s.iterArgBuf[d][:len(deps)]
+	for i, dep := range deps {
+		args[i] = s.env[dep]
+	}
+	return args
 }
 
 func (in *Interp) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
@@ -354,11 +406,7 @@ func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 		s.stats.Checks[st.StatsID]++
 		var kill bool
 		if st.Constraint.Deferred() {
-			args := make([]expr.Value, len(st.Constraint.DeclaredDeps))
-			for i, dep := range st.Constraint.DeclaredDeps {
-				args[i] = s.env[dep]
-			}
-			kill = st.Constraint.Fn(args)
+			kill = st.Constraint.Fn(s.deferredArgs(st.Constraint.DeclaredDeps))
 		} else {
 			kill = evalMap(st.Expr, s.env).Truthy()
 		}
@@ -417,12 +465,12 @@ func (s *interpState) body(d int, v int64) bool {
 
 // loop enumerates depth d; it reports whether to continue.
 func (s *interpState) loop(d int) bool {
+	if s.chunk != nil && d == s.chunk.depth && s.chunkReady() {
+		return s.loopChunk(d)
+	}
 	lp := s.in.prog.Loops[d]
 	if lp.Iter.Kind != space.ExprIter {
-		args := make([]expr.Value, len(lp.Iter.DeclaredDeps))
-		for i, dep := range lp.Iter.DeclaredDeps {
-			args[i] = s.env[dep]
-		}
+		args := s.iterArgs(d, lp)
 		switch lp.Iter.Kind {
 		case space.DeferredIter:
 			dom := lp.Iter.Deferred(args)
@@ -500,16 +548,22 @@ func (s *interpState) loopWhile(d int, r *space.RangeDomain) bool {
 	}
 	start, stop = s.narrow(d, start, stop, step)
 	name := s.in.prog.Loops[d].Iter.Name
-	stopName, stepName := name+"$stop", name+"$step"
-	s.env[name] = expr.IntVal(start)
-	s.env[stopName] = expr.IntVal(stop)
-	s.env[stepName] = expr.IntVal(step)
-	varRef := expr.NewRef(name)
-	cond := expr.Lt(varRef, expr.NewRef(stopName))
-	if step < 0 {
-		cond = expr.Gt(varRef, expr.NewRef(stopName))
+	ctl := &s.whileCtl[d]
+	if ctl.incr == nil {
+		ctl.stopName, ctl.stepName = name+"$stop", name+"$step"
+		varRef := expr.NewRef(name)
+		ctl.ltCond = expr.Lt(varRef, expr.NewRef(ctl.stopName))
+		ctl.gtCond = expr.Gt(varRef, expr.NewRef(ctl.stopName))
+		ctl.incr = expr.Add(varRef, expr.NewRef(ctl.stepName))
 	}
-	incr := expr.Add(varRef, expr.NewRef(stepName))
+	s.env[name] = expr.IntVal(start)
+	s.env[ctl.stopName] = expr.IntVal(stop)
+	s.env[ctl.stepName] = expr.IntVal(step)
+	cond := ctl.ltCond
+	if step < 0 {
+		cond = ctl.gtCond
+	}
+	incr := ctl.incr
 	for evalMap(cond, s.env).Truthy() {
 		v := s.env[name].I
 		if !s.body(d, v) {
@@ -529,7 +583,7 @@ func (s *interpState) loopRange(d int, r *space.RangeDomain) bool {
 		return true
 	}
 	start, stop = s.narrow(d, start, stop, step)
-	var vals []int64
+	vals := s.rangeBuf[d][:0]
 	if step > 0 {
 		for v := start; v < stop; v += step {
 			vals = append(vals, v)
@@ -539,6 +593,7 @@ func (s *interpState) loopRange(d int, r *space.RangeDomain) bool {
 			vals = append(vals, v)
 		}
 	}
+	s.rangeBuf[d] = vals // keep the grown capacity for the next entry
 	for _, v := range vals {
 		if !s.body(d, v) {
 			return false

@@ -64,6 +64,16 @@ type Stats struct {
 	BoundsNarrowed    []int64
 	IterationsSkipped []int64
 
+	// ChunksEvaluated counts innermost-loop blocks evaluated by the
+	// chunked execution mode (Options.ChunkSize > 1), and LanesMasked
+	// counts lanes a residual check turned off inside those blocks. Both
+	// stay zero in scalar mode and — unlike the pruning counters — they
+	// are schedule-dependent: a parallel split that reaches the innermost
+	// loop enumerates it tile-wise (scalar), so comparisons across
+	// schedules must exclude them.
+	ChunksEvaluated int64
+	LanesMasked     int64
+
 	// Survivors counts tuples that passed every constraint.
 	Survivors int64
 
@@ -111,6 +121,8 @@ func (s *Stats) Merge(other *Stats) {
 		s.BoundsNarrowed[i] += other.BoundsNarrowed[i]
 		s.IterationsSkipped[i] += other.IterationsSkipped[i]
 	}
+	s.ChunksEvaluated += other.ChunksEvaluated
+	s.LanesMasked += other.LanesMasked
 	s.Survivors += other.Survivors
 	s.Stopped = s.Stopped || other.Stopped
 }

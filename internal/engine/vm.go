@@ -81,6 +81,12 @@ const (
 	opTempEval // stats.TempEvals[a]++ (optimizer temp assignment executed)
 	opTempHits // stats.TempHits[a] += b (temp-slot reads in the step just run)
 	opNarrow   // narrows[a]: tighten the freshly prepped loop range in place
+
+	// Chunked-innermost superinstructions: drive the whole innermost loop
+	// from the prepped range registers (or a materialized list buffer),
+	// batching lanes through the vector stream in code.chunk.
+	opChunkRange // chunk-enumerate start reg[a], stop reg[b], step reg[c]
+	opChunkList  // chunk-enumerate the values in bufs[a]
 )
 
 type instr struct {
@@ -100,6 +106,7 @@ type vmCode struct {
 	narrows    []vmNarrow
 	nregs      int
 	tupleSlots []int32
+	chunk      *vmChunkCode // non-nil when the innermost loop is chunked
 }
 
 // vmNarrow is one opNarrow site: which loop registers to tighten and the
@@ -126,7 +133,7 @@ func (vm *VM) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
 	if cerr := checkProgramStrings(vm.prog); cerr != nil {
 		return nil, fmt.Errorf("vm: %w", cerr)
 	}
-	code, cerr := vm.compile(opts.Protocol, 0, false)
+	code, cerr := vm.compile(opts, 0, false)
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -145,7 +152,7 @@ func (vm *VM) newWorker(opts Options, ctl *runCtl, depth int) (w tileWorker, err
 	if cerr := checkProgramStrings(vm.prog); cerr != nil {
 		return nil, fmt.Errorf("vm: %w", cerr)
 	}
-	code, cerr := vm.compile(opts.Protocol, depth, true)
+	code, cerr := vm.compile(opts, depth, true)
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -175,7 +182,7 @@ func (w *vmWorker) runTile(prefix []int64) (err error) {
 // (their variables are set by runTile before execution), then the loop nest
 // from prefixDepth inward — or just the survivor bookkeeping when the
 // prefix is a complete tuple.
-func (vm *VM) compile(protocol Protocol, prefixDepth int, tile bool) (*vmCode, error) {
+func (vm *VM) compile(opts Options, prefixDepth int, tile bool) (*vmCode, error) {
 	prog := vm.prog
 	n := len(prog.Loops)
 	base := int32(prog.NumSlots())
@@ -183,7 +190,7 @@ func (vm *VM) compile(protocol Protocol, prefixDepth int, tile bool) (*vmCode, e
 		vm:       vm,
 		code:     &vmCode{nregs: prog.NumSlots() + 3*n},
 		settings: prog.SettingBySlot(),
-		protocol: protocol,
+		protocol: opts.Protocol,
 		stopT:    make([]int32, n),
 		stepT:    make([]int32, n),
 		posT:     make([]int32, n),
@@ -196,6 +203,18 @@ func (vm *VM) compile(protocol Protocol, prefixDepth int, tile bool) (*vmCode, e
 	a.code.hostDoms = make([]compiledDomain, n)
 	for _, lp := range prog.Loops {
 		a.code.tupleSlots = append(a.code.tupleSlots, int32(lp.Slot))
+	}
+	// Compile the innermost loop's vector stream when chunking is on and
+	// the plan marked the loop eligible. A vec-emission failure only means
+	// "not chunkable": clear it and fall back to the scalar stream.
+	if size := normChunk(opts.ChunkSize); size > 1 && n > 0 && (!tile || prefixDepth < n) {
+		if v := prog.Vector; v != nil && v.Eligible {
+			a.buildChunk(size)
+			if a.err != nil {
+				a.err = nil
+				a.code.chunk = nil
+			}
+		}
 	}
 	// Setting initialization is done by the executor from the program
 	// directly.
@@ -466,6 +485,47 @@ func (a *vmAssembler) emitLoop(d int) {
 		}
 	}
 
+	// Chunked innermost loop: a single superinstruction replaces the whole
+	// scalar loop form — the body ran through the vector stream in
+	// code.chunk, kills folded into the lane mask. The loop protocol is
+	// intentionally ignored here, exactly as in the other backends: the
+	// protocols model per-iteration control shapes that chunking replaces,
+	// and they are property-tested to leave every counter unchanged.
+	if a.code.chunk != nil && d == len(prog.Loops)-1 {
+		if useList {
+			if lp.Iter.Kind != space.ExprIter {
+				a.code.hostDoms[d] = &hostDom{iter: lp.Iter, argSlots: lp.ArgSlots, settings: a.settings}
+			} else {
+				dom, err := compileDomain(lp.Domain)
+				if err != nil {
+					a.fail(fmt.Errorf("vm: iterator %s: %w", lp.Iter.Name, err))
+					return
+				}
+				a.code.hostDoms[d] = dom
+			}
+			a.emit(instr{op: opHostDom, a: int32(d), b: a.posT[d]})
+			a.emit(instr{op: opChunkList, a: int32(d)})
+			return
+		}
+		a.emitExpr(rangeDomain.Start)
+		a.emitExpr(rangeDomain.Stop)
+		a.emitExpr(rangeDomain.Step)
+		a.emit(instr{op: opForPrep, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		if lp.Bounds != nil {
+			cb, err := compileLoopBounds(lp.Bounds, lp.Slot)
+			if err != nil {
+				a.fail(fmt.Errorf("vm: loop %s bounds: %w", lp.Iter.Name, err))
+				return
+			}
+			a.code.narrows = append(a.code.narrows, vmNarrow{
+				depth: int32(d), varReg: varReg, stopReg: a.stopT[d], stepReg: a.stepT[d], cb: cb,
+			})
+			a.emit(instr{op: opNarrow, a: int32(len(a.code.narrows) - 1)})
+		}
+		a.emit(instr{op: opChunkRange, a: varReg, b: a.stopT[d], c: a.stepT[d]})
+		return
+	}
+
 	// Body emission shared by all loop forms: visits, steps (kills jump to
 	// the loop continue point), inner nest or survivor.
 	emitBody := func() (killPatches []int32) {
@@ -607,15 +667,16 @@ func (a *vmAssembler) emitLoop(d int) {
 // scratch buffers live across runs so a tile worker re-executes its stream
 // without reallocating.
 type vmExec struct {
-	vm    *VM
-	code  *vmCode
-	reg   []int64
-	bufs  [][]int64
-	stk   []int64
-	tuple []int64
-	stats *Stats
-	opts  Options
-	ctl   *runCtl
+	vm         *VM
+	code       *vmCode
+	reg        []int64
+	bufs       [][]int64
+	stk        []int64
+	tuple      []int64
+	stats      *Stats
+	opts       Options
+	ctl        *runCtl
+	chunkState *vmChunkState // non-nil iff code.chunk is
 }
 
 func newVMExec(vm *VM, code *vmCode, opts Options, ctl *runCtl) *vmExec {
@@ -635,15 +696,43 @@ func newVMExec(vm *VM, code *vmCode, opts Options, ctl *runCtl) *vmExec {
 			x.reg[s.Slot] = s.V.I
 		}
 	}
+	if code.chunk != nil {
+		x.chunkState = newVMChunkState(code.chunk)
+	}
 	return x
+}
+
+// survive performs the survivor bookkeeping shared by the scalar
+// opSurvive handler and the chunked executor: claim a slot under the
+// result limit, count, emit the tuple. Returns false when enumeration
+// must stop.
+func (x *vmExec) survive() bool {
+	ok, last := x.ctl.claim()
+	if !ok {
+		return false
+	}
+	x.stats.Survivors++
+	if x.opts.OnTuple != nil {
+		for i, s := range x.code.tupleSlots {
+			x.tuple[i] = x.reg[s]
+		}
+		if !x.opts.OnTuple(x.tuple) {
+			x.ctl.stop()
+			return false
+		}
+	}
+	if last {
+		x.ctl.stop()
+		return false
+	}
+	return true
 }
 
 // run interprets the bytecode.
 func (x *vmExec) run() {
-	code, stats, opts := x.code, x.stats, x.opts
+	code, stats := x.code, x.stats
 	reg, bufs := x.reg, x.bufs
 	stk := x.stk
-	tuple := x.tuple
 	defer func() { x.stk = stk }()
 	ins := code.ins
 	pc := int32(0)
@@ -824,22 +913,37 @@ func (x *vmExec) run() {
 				reg[nw.varReg], reg[nw.stopReg] = lo, hi
 			}
 		case opSurvive:
-			ok, last := x.ctl.claim()
-			if !ok {
+			if !x.survive() {
 				return
 			}
-			stats.Survivors++
-			if opts.OnTuple != nil {
-				for i, s := range code.tupleSlots {
-					tuple[i] = reg[s]
+		case opChunkRange:
+			cs := x.chunkState
+			cs.n = 0
+			start, stop, step := reg[in.a], reg[in.b], reg[in.c]
+			if step > 0 {
+				for v := start; v < stop; v += step {
+					if !x.pushChunk(v) {
+						return
+					}
 				}
-				if !opts.OnTuple(tuple) {
-					x.ctl.stop()
+			} else if step < 0 {
+				for v := start; v > stop; v += step {
+					if !x.pushChunk(v) {
+						return
+					}
+				}
+			}
+			if !x.runChunk() {
+				return
+			}
+		case opChunkList:
+			x.chunkState.n = 0
+			for _, v := range bufs[in.a] {
+				if !x.pushChunk(v) {
 					return
 				}
 			}
-			if last {
-				x.ctl.stop()
+			if !x.runChunk() {
 				return
 			}
 		default:

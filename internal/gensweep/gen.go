@@ -31,6 +31,11 @@ const GEMMMinThreads = 64
 // LoopTotal is the innermost iteration count of the committed loop nests.
 const LoopTotal = 10_000_000
 
+// ChunkSize is the innermost-loop chunk width of the committed DGEMM
+// sweep. The loop-nest files stay scalar: they have no residual inner
+// work to amortize and serve as the unvectorized baseline.
+const ChunkSize = 64
+
 // GEMMConfig returns the configuration the committed DGEMM sweep was
 // generated from.
 func GEMMConfig() gemm.Config {
@@ -59,7 +64,8 @@ func Sources() (map[string]string, error) {
 		Package:   "gensweep",
 		FuncName:  "DGEMM32",
 		StatsType: "DGEMM32Stats",
-		Comment:   fmt.Sprintf("DGEMM nn on Tesla K40c at 1/%d thread-dim scale, min occupancy %d threads.", GEMMScale, GEMMMinThreads),
+		ChunkSize: ChunkSize,
+		Comment:   fmt.Sprintf("DGEMM nn on Tesla K40c at 1/%d thread-dim scale, min occupancy %d threads, chunk %d.", GEMMScale, GEMMMinThreads, ChunkSize),
 	})
 	if err != nil {
 		return nil, err

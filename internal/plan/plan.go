@@ -70,6 +70,12 @@ type Step struct {
 	// step's expression; engines add it to the per-level cache-hit counter
 	// each time the step executes.
 	TempRefs int
+
+	// Vec marks an innermost-loop step whose expression can be evaluated
+	// over a whole chunk of loop-variable values at once (see vector.go).
+	// Always false for deferred constraints and for steps outside the
+	// innermost loop.
+	Vec bool
 }
 
 // TempDef describes one synthesized common-subexpression temp.
@@ -165,6 +171,10 @@ type Program struct {
 	// Temps lists the synthesized common-subexpression temps in definition
 	// order (see optimize.go). Empty when Options.DisableCSE is set.
 	Temps []TempDef
+
+	// Vector is the innermost-chunk lane layout (see vector.go); nil when
+	// the program has no loops.
+	Vector *VectorLayout
 }
 
 // Options control plan compilation.
@@ -481,6 +491,9 @@ func Compile(s *space.Space, opts Options) (*Program, error) {
 	if !opts.DisableCSE {
 		optimize(prog)
 	}
+	// Chunk layout comes last so the lane set includes optimizer temps
+	// and the Vec marks see the final (CSE-rewritten) step expressions.
+	computeVector(prog)
 
 	return prog, nil
 }

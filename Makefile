@@ -34,13 +34,15 @@ benchjson:
 	@test -s bench_output.txt || $(MAKE) bench
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$$(date +%F).json
 
-# Compare the current bench_output.txt against a committed snapshot:
-#   make bench-compare BASELINE=BENCH_2026-08-06.json
+# Compare the current bench_output.txt against a committed snapshot and
+# fail if any benchmark's ns/op regressed beyond the gate:
+#   make bench-compare BASELINE=BENCH_2026-08-06.json MAX_REGRESS=10%
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+MAX_REGRESS ?= 10%
 bench-compare:
 	@test -s bench_output.txt || $(MAKE) bench
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
-	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline $(BASELINE)
+	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline $(BASELINE) -max-regress $(MAX_REGRESS)
 
 vet:
 	$(GO) vet ./...

@@ -53,6 +53,10 @@ type (
 	Program = plan.Program
 	// PlanOptions control plan compilation (loop order, ablations).
 	PlanOptions = plan.Options
+	// ReorderInfo records the loop-order optimizer's decision (Program.Reorder).
+	ReorderInfo = plan.ReorderInfo
+	// SelectivityEstimate is a sampled per-constraint pass rate.
+	SelectivityEstimate = plan.SelectivityEstimate
 	// RunOptions control enumeration (protocol, workers, callbacks).
 	RunOptions = engine.Options
 	// Stats are enumeration counters (visits, checks, kills, survivors).
@@ -91,6 +95,14 @@ const (
 	RandomSample = autotune.RandomSample
 	HillClimb    = autotune.HillClimb
 	Anneal       = autotune.Anneal
+)
+
+// Loop-reorder modes for a tuning run (TuneOptions.Reorder): keep the
+// planner's decision, force the declared nest, or force reordering.
+const (
+	ReorderPlanned = autotune.ReorderPlanned
+	ReorderOff     = autotune.ReorderOff
+	ReorderOn      = autotune.ReorderOn
 )
 
 // NewSpace returns an empty space.

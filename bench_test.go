@@ -30,6 +30,7 @@ import (
 	"repro/internal/kernelsim"
 	"repro/internal/loopbench"
 	"repro/internal/plan"
+	"repro/internal/space"
 )
 
 // benchTotal keeps a single benchmark op around a few milliseconds on the
@@ -613,6 +614,132 @@ func TestInterpAllocSteadyState(t *testing.T) {
 		// per-iteration churn is not. ~295k visits in this space.
 		if allocs > 64 {
 			t.Errorf("chunk=%d: interpreter allocates %.0f times per run; want O(1) bookkeeping only", chunk, allocs)
+		}
+	}
+}
+
+// reverseDeclared rebuilds a space with its iterators declared in reverse:
+// the stable topological order the planner preserves then becomes "as
+// reversed as the DAG allows" — the adversarial declaration the loop-order
+// optimizer is supposed to recover from.
+func reverseDeclared(src *space.Space) *space.Space {
+	rs := space.New()
+	for _, name := range src.Settings() {
+		v, _ := src.SettingValue(name)
+		rs.Setting(name, v)
+	}
+	iters := src.Iterators()
+	for i := len(iters) - 1; i >= 0; i-- {
+		rs.AddIterator(iters[i])
+	}
+	for _, d := range src.DerivedVars() {
+		rs.Derived(d.Name, d.Expr)
+	}
+	for _, c := range src.Constraints() {
+		rs.Constrain(c.Name, c.Class, c.Pred)
+	}
+	return rs
+}
+
+// BenchmarkLoopReorder measures the selectivity-driven loop-order optimizer
+// (plan/reorder.go). The scaled GEMM space runs under its well-declared
+// order (the optimizer must keep it — the margin guard), under an
+// adversarially reversed declaration pinned with -no-reorder semantics,
+// and under the optimizer's automatic recovery from that reversal. The
+// Fig17 loop nests ride along as a constraint-free control. visits/op is
+// the quantity the optimizer minimizes; compare reversed/declared against
+// reversed/auto for the recovery factor.
+func BenchmarkLoopReorder(b *testing.B) {
+	gemmSpace := func() *space.Space {
+		s, err := gemm.Space(gensweep.GEMMConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	// The reversed-declaration cases use a smaller device shape: the whole
+	// point of the adversarial order is that it explodes the visit count
+	// (~2.0e9 at the committed scale 32, nearly a minute per op). Scaled
+	// clamps thread dims at 32, so shrink them directly.
+	smallSpace := func() *space.Space {
+		cfg := gensweep.GEMMConfig()
+		dev := *cfg.Device
+		dev.MaxThreadsDimX, dev.MaxThreadsDimY = 16, 16
+		cfg.Device = &dev
+		s, err := gemm.Space(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name     string
+		build    func() *space.Space
+		opts     plan.Options
+		backends bool // all three backends, not just compiled
+	}{
+		{"gemm/declared", gemmSpace, plan.Options{DisableReorder: true}, true},
+		{"gemm/auto", gemmSpace, plan.Options{}, true},
+		{"gemm-reversed/declared", func() *space.Space { return reverseDeclared(smallSpace()) },
+			plan.Options{DisableReorder: true}, false},
+		{"gemm-reversed/auto", func() *space.Space { return reverseDeclared(smallSpace()) },
+			plan.Options{}, false},
+	}
+	for _, tc := range cases {
+		prog, err := plan.Compile(tc.build(), tc.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err := engine.NewCompiled(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines := []engine.Engine{comp}
+		if tc.backends {
+			engines = []engine.Engine{engine.NewInterp(prog), engine.NewVM(prog), comp}
+		}
+		for _, e := range engines {
+			b.Run(tc.name+"/"+e.Name(), func(b *testing.B) {
+				var st *engine.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = e.Run(engine.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.TotalVisits()), "visits/op")
+				b.ReportMetric(float64(st.TotalVisits())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mit/s")
+			})
+		}
+	}
+	// Fig17 loop-nest control: no constraints, so the optimizer must leave
+	// the declared nest alone and cost nothing at run time.
+	for depth := 1; depth <= 4; depth++ {
+		for _, mode := range []struct {
+			name string
+			opts plan.Options
+		}{{"declared", plan.Options{DisableReorder: true}}, {"auto", plan.Options{}}} {
+			prog, err := plan.Compile(loopbench.Space(depth, benchTotal), mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp, err := engine.NewCompiled(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("loops%d/%s/compiled", depth, mode.name), func(b *testing.B) {
+				var st *engine.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = comp.Run(engine.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.TotalVisits()), "visits/op")
+				b.ReportMetric(float64(st.TotalVisits())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mit/s")
+			})
 		}
 	}
 }

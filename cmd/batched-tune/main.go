@@ -24,18 +24,24 @@ import (
 
 func main() {
 	var (
-		kernel   = flag.String("kernel", "cholesky", "kernel: cholesky or trsm")
-		sizes    = flag.String("sizes", "8,16,24,32,48,64,96,128,192,256", "comma-separated matrix sizes")
-		batch    = flag.Int64("batch", 10000, "matrices per batch")
-		nrhs     = flag.Int64("nrhs", 16, "right-hand sides (trsm)")
-		devName  = flag.String("device", "k40c", "device: k40c, gtx680, c2050, gtx980")
-		devJSON  = flag.String("device-json", "", "load device properties from a JSON file")
-		workers  = flag.Int("workers", 8, "parallel enumeration workers")
-		chunk    = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
-		noNarrow = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
+		kernel    = flag.String("kernel", "cholesky", "kernel: cholesky or trsm")
+		sizes     = flag.String("sizes", "8,16,24,32,48,64,96,128,192,256", "comma-separated matrix sizes")
+		batch     = flag.Int64("batch", 10000, "matrices per batch")
+		nrhs      = flag.Int64("nrhs", 16, "right-hand sides (trsm)")
+		devName   = flag.String("device", "k40c", "device: k40c, gtx680, c2050, gtx980")
+		devJSON   = flag.String("device-json", "", "load device properties from a JSON file")
+		workers   = flag.Int("workers", 8, "parallel enumeration workers")
+		chunk     = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
+		noNarrow  = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
+		noReorder = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		orderSpec = flag.String("order", "", "comma-separated loop order, e.g. nb,dim_x,mpb,unroll (implies -no-reorder; must respect domain dependencies)")
 	)
 	flag.Parse()
-	planOpts := plan.Options{DisableNarrowing: *noNarrow}
+	planOpts := plan.Options{
+		DisableNarrowing: *noNarrow,
+		DisableReorder:   *noReorder,
+		Order:            splitOrder(*orderSpec),
+	}
 
 	var dev *device.Properties
 	var err error
@@ -134,6 +140,19 @@ func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers, chunk int, p
 	fmt.Printf("%5d %10d %12.1f %12.1f %8.2fx   nb=%d dim_x=%d dim_rhs=%d mpb=%d\n",
 		n, rep.Survivors, rep.Best[0].Score, base, rep.Best[0].Score/base,
 		k.NB, k.DimX, k.DimRHS, k.MPB)
+}
+
+// splitOrder parses the -order flag: a comma-separated iterator list, or
+// nil when the flag was not given (planner picks the order).
+func splitOrder(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func parseSizes(s string) ([]int64, error) {

@@ -51,6 +51,8 @@ func main() {
 		noHoist    = flag.Bool("no-hoisting", false, "disable constraint hoisting (ablation)")
 		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer: CSE, subexpression hoisting, simplification (ablation)")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
+		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 	)
 	flag.Parse()
 
@@ -68,7 +70,13 @@ func main() {
 	}
 	fmt.Println(s.Summary())
 
-	prog, err := plan.Compile(s, plan.Options{DisableHoisting: *noHoist, DisableCSE: *noCSE, DisableNarrowing: *noNarrow})
+	prog, err := plan.Compile(s, plan.Options{
+		DisableHoisting:  *noHoist,
+		DisableCSE:       *noCSE,
+		DisableNarrowing: *noNarrow,
+		DisableReorder:   *noReorder,
+		Order:            splitOrder(*orderSpec),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -92,7 +100,9 @@ func main() {
 
 	opts := engine.Options{Protocol: proto, Workers: *workers, SplitDepth: *splitDepth, ChunkSize: *chunk}
 	if *tuples > 0 {
-		names := prog.IterNames()
+		// Tuples print in source declaration order, whatever nest the
+		// planner chose.
+		names := prog.TupleNames()
 		fmt.Println(strings.Join(names, " "))
 		shown := int64(0)
 		opts.OnTuple = func(tu []int64) bool {
@@ -138,6 +148,10 @@ func main() {
 		fmt.Printf("bounds narrowing: %d iterations skipped (%.1f%% of %d would-be visits)\n",
 			skipped, 100*float64(skipped)/float64(skipped+st.TotalVisits()), skipped+st.TotalVisits())
 	}
+	if ri := prog.Reorder; ri != nil && ri.Applied {
+		fmt.Printf("loop reorder: %s  (declared %s; %s)\n",
+			strings.Join(ri.Chosen, ","), strings.Join(ri.Declared, ","), ri)
+	}
 	if *funnel {
 		fmt.Print(viz.ASCIIFunnel(prog, st))
 	}
@@ -179,6 +193,19 @@ func loadSpace(specPath, gemmName, devName, devJSON string, scale, minThreads in
 	default:
 		return nil, fmt.Errorf("one of -spec or -gemm is required")
 	}
+}
+
+// splitOrder parses the -order flag: a comma-separated iterator list, or
+// nil when the flag was not given (planner picks the order).
+func splitOrder(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func pickEngine(name string, prog *plan.Program) (engine.Engine, error) {

@@ -61,6 +61,41 @@ func Compare(base, cur *Snapshot) string {
 	return w.String()
 }
 
+// Regressions lists the common benchmarks whose ns/op worsened by more
+// than limit (a fraction: 0.10 = 10%), sorted worst-first. Benchmarks
+// missing ns/op on either side are skipped — a renamed or removed
+// benchmark is a review matter, not a perf regression.
+func Regressions(base, cur *Snapshot, limit float64) []string {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	type reg struct {
+		name  string
+		delta float64
+	}
+	var regs []reg
+	for _, nb := range cur.Benchmarks {
+		ob, ok := baseBy[nb.Name]
+		if !ok {
+			continue
+		}
+		old, cur := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if old <= 0 || cur <= 0 {
+			continue
+		}
+		if delta := (cur - old) / old; delta > limit {
+			regs = append(regs, reg{nb.Name, delta})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].delta > regs[j].delta })
+	out := make([]string, len(regs))
+	for i, r := range regs {
+		out[i] = fmt.Sprintf("%s: ns/op %+.1f%%", r.name, 100*r.delta)
+	}
+	return out
+}
+
 // num formats a metric value compactly, leaving absent metrics blank.
 func num(v float64) string {
 	switch {

@@ -29,9 +29,10 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "bench_output.txt", "benchmark text output (or snapshot .json) to parse")
-		out      = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
-		baseline = flag.String("baseline", "", "compare against this snapshot JSON instead of writing one")
+		in         = flag.String("in", "bench_output.txt", "benchmark text output (or snapshot .json) to parse")
+		out        = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		baseline   = flag.String("baseline", "", "compare against this snapshot JSON instead of writing one")
+		maxRegress = flag.String("max-regress", "", "with -baseline: exit nonzero if any common benchmark's ns/op regressed by more than this (e.g. 10% or 0.1)")
 	)
 	flag.Parse()
 	snap, err := loadInput(*in)
@@ -47,7 +48,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(Compare(base, snap))
+		if *maxRegress != "" {
+			limit, err := parseFraction(*maxRegress)
+			if err != nil {
+				fatal(err)
+			}
+			if regs := Regressions(base, snap, limit); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %s:\n", len(regs), *maxRegress)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("regression gate passed: no ns/op increase beyond %s\n", *maxRegress)
+		}
 		return
+	}
+	if *maxRegress != "" {
+		fatal(fmt.Errorf("-max-regress requires -baseline"))
 	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
@@ -85,6 +103,23 @@ func loadSnapshot(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	return &snap, nil
+}
+
+// parseFraction reads a regression threshold: "10%" or a plain fraction
+// like "0.1".
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	var v float64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(s, "%"), "%g", &v); err != nil {
+		return 0, fmt.Errorf("bad -max-regress %q (want e.g. 10%% or 0.1)", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("-max-regress must be positive, got %q", s)
+	}
+	return v, nil
 }
 
 func fatal(err error) {

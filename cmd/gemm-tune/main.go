@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/autotune"
@@ -49,9 +50,15 @@ func main() {
 		compare    = flag.Bool("compare-backends", false, "time the sweep under every backend (§XI)")
 		energy     = flag.Bool("energy", false, "multi-objective performance/energy tuning (§XI.E): print the Pareto front")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
+		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 	)
 	flag.Parse()
-	planOpts := plan.Options{DisableNarrowing: *noNarrow}
+	planOpts := plan.Options{
+		DisableNarrowing: *noNarrow,
+		DisableReorder:   *noReorder,
+		Order:            splitOrder(*orderSpec),
+	}
 
 	if *table1 {
 		runTable1()
@@ -221,6 +228,19 @@ func compareBackends(s *space.Space, planOpts plan.Options, chunk int) {
 		fmt.Printf("\ncompiled-over-interpreted speedup: %.1fx (paper at full scale: 253x)\n",
 			interpSec/compiledSec)
 	}
+}
+
+// splitOrder parses the -order flag: a comma-separated iterator list, or
+// nil when the flag was not given (planner picks the order).
+func splitOrder(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/device"
@@ -42,6 +43,10 @@ func main() {
 		pkg        = flag.String("pkg", "sweep", "package name (Go)")
 		funcName   = flag.String("func", "Enumerate", "function name")
 		chunk      = flag.Int("chunk", 64, "innermost-loop chunk size for emitted code (1 = scalar)")
+		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer in the emitted code (ablation)")
+		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation in the emitted code (ablation)")
+		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: emit the declared nest (ablation)")
+		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		writeGS    = flag.Bool("write-gensweep", false, "regenerate internal/gensweep/*_gen.go and exit")
 	)
@@ -58,7 +63,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := plan.Compile(s, plan.Options{})
+	prog, err := plan.Compile(s, plan.Options{
+		DisableCSE:       *noCSE,
+		DisableNarrowing: *noNarrow,
+		DisableReorder:   *noReorder,
+		Order:            splitOrder(*orderSpec),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -120,6 +130,19 @@ func buildSpace(specPath, gemmName string, loopDepth int, loopTotal int64,
 		}
 		return loopbench.Space(loopDepth, loopTotal), nil
 	}
+}
+
+// splitOrder parses the -order flag: a comma-separated iterator list, or
+// nil when the flag was not given (planner picks the order).
+func splitOrder(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // sanitizeC keeps the default Go-ish name out of the C namespace.

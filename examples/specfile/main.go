@@ -47,9 +47,9 @@ func main() {
 		st.TotalVisits(), st.Survivors, 100*st.PruneRate())
 
 	// Tune with a toy stencil cost model: reward parallel work, punish
-	// halo overhead and shared-memory pressure. Tuple order follows the
-	// planned loop nest.
-	names := prog.IterNames()
+	// halo overhead and shared-memory pressure. Tuples arrive in source
+	// declaration order, whatever nest the planner chose.
+	names := prog.TupleNames()
 	idx := map[string]int{}
 	for i, n := range names {
 		idx[n] = i

@@ -28,6 +28,12 @@ type AnnealOptions struct {
 // single-dimension domain steps repaired to feasibility, as in the hill
 // climber.
 func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
+	if tt, err := t.forReorder(opts.Reorder); err != nil {
+		return nil, err
+	} else if tt != t {
+		opts.Reorder = ReorderPlanned
+		return tt.RunAnneal(opts)
+	}
 	base := opts.Options
 	if base.TopK <= 0 {
 		base.TopK = 10
@@ -77,13 +83,16 @@ func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
 		best.offer(Result{Tuple: append([]int64(nil), cur...), Score: curScore}, base.TopK)
 		temp := opts.InitialTemp
 		for step := 0; step < base.Steps; step++ {
-			d := rng.Intn(len(cur))
+			// d is a loop depth; ti is the tuple position of that loop's
+			// iterator (tuples are in declaration order).
+			d := rng.Intn(len(pc.prog.Loops))
+			ti := pc.tupleIdx[d]
 			vals := pc.domainValues(cur, d)
 			if len(vals) < 2 {
 				temp *= opts.Cooling
 				continue
 			}
-			idx := indexOf(vals, cur[d])
+			idx := indexOf(vals, cur[ti])
 			// Jump up to 4 positions in either direction: wide enough to
 			// preserve mod-4-style couplings between dimensions, short
 			// enough to keep repair cheap.
@@ -94,12 +103,12 @@ func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
 			if j >= len(vals) {
 				j = len(vals) - 1
 			}
-			if vals[j] == cur[d] {
+			if vals[j] == cur[ti] {
 				temp *= opts.Cooling
 				continue
 			}
 			cand := append([]int64(nil), cur...)
-			cand[d] = vals[j]
+			cand[ti] = vals[j]
 			if !pc.repair(cand) || !pc.valid(cand) {
 				temp *= opts.Cooling
 				continue
@@ -116,7 +125,7 @@ func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
 		Best: best.sorted(), Stats: seeds.Stats,
 		Evaluated: evals, Survivors: seeds.Survivors,
 		Strategy:  Anneal,
-		IterNames: t.Prog.IterNames(),
+		IterNames: t.Prog.TupleNames(),
 		Program:   t.Prog,
 	}, nil
 }

@@ -65,6 +65,22 @@ func (s Strategy) String() string {
 	}
 }
 
+// ReorderMode controls plan-time loop reordering for a tuning run.
+type ReorderMode uint8
+
+// Reorder modes.
+const (
+	// ReorderPlanned keeps whatever nest the planner chose when the
+	// Tuner was built (reordering on by default in plan.Compile).
+	ReorderPlanned ReorderMode = iota
+	// ReorderOff forces the declared nest order, recompiling if needed.
+	// Survivor sets are identical either way; only visit counts shift.
+	ReorderOff
+	// ReorderOn forces selectivity-driven reordering, recompiling if the
+	// Tuner was built with it disabled.
+	ReorderOn
+)
+
 // Options configure a tuning run.
 type Options struct {
 	Strategy Strategy
@@ -84,6 +100,8 @@ type Options struct {
 	Seed int64
 	// Restarts and Steps bound HillClimb (defaults 16 and 200).
 	Restarts, Steps int
+	// Reorder overrides the plan-time loop-order choice for this run.
+	Reorder ReorderMode
 }
 
 // Result is one scored configuration.
@@ -108,6 +126,7 @@ type Report struct {
 type Tuner struct {
 	Prog      *plan.Program
 	Objective Objective
+	planOpts  plan.Options
 }
 
 // New compiles s and returns a Tuner using the fast native engine.
@@ -122,11 +141,38 @@ func NewWithOptions(s *space.Space, obj Objective, opts plan.Options) (*Tuner, e
 	if err != nil {
 		return nil, err
 	}
-	return &Tuner{Prog: prog, Objective: obj}, nil
+	return &Tuner{Prog: prog, Objective: obj, planOpts: opts}, nil
+}
+
+// forReorder returns a tuner whose program honours the requested reorder
+// mode, recompiling from the source space only when the current program
+// disagrees with the request.
+func (t *Tuner) forReorder(mode ReorderMode) (*Tuner, error) {
+	if mode == ReorderPlanned {
+		return t, nil
+	}
+	reordered := t.Prog.Reorder != nil && t.Prog.Reorder.Applied
+	if (mode == ReorderOn) == reordered {
+		return t, nil
+	}
+	o := t.planOpts
+	o.Order = nil
+	o.DisableReorder = mode == ReorderOff
+	prog, err := plan.Compile(t.Prog.Source, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{Prog: prog, Objective: t.Objective, planOpts: o}, nil
 }
 
 // Run executes the tuning strategy.
 func (t *Tuner) Run(opts Options) (*Report, error) {
+	if tt, err := t.forReorder(opts.Reorder); err != nil {
+		return nil, err
+	} else if tt != t {
+		opts.Reorder = ReorderPlanned
+		return tt.Run(opts)
+	}
 	if opts.TopK <= 0 {
 		opts.TopK = 10
 	}
@@ -162,7 +208,7 @@ func (t *Tuner) Run(opts Options) (*Report, error) {
 	}
 	rep.Elapsed = time.Since(start)
 	rep.Strategy = opts.Strategy
-	rep.IterNames = t.Prog.IterNames()
+	rep.IterNames = t.Prog.TupleNames()
 	rep.Program = t.Prog
 	return rep, nil
 }
@@ -299,6 +345,10 @@ type pointChecker struct {
 	prog  *plan.Program
 	steps []plan.Step
 	env   *expr.Env
+	// tupleIdx maps loop depth to the tuple position of that loop's
+	// iterator: tuples are emitted in source declaration order, which
+	// differs from nest order once the planner reorders loops.
+	tupleIdx []int
 }
 
 func newPointChecker(prog *plan.Program) *pointChecker {
@@ -307,14 +357,22 @@ func newPointChecker(prog *plan.Program) *pointChecker {
 	for _, lp := range prog.Loops {
 		steps = append(steps, lp.Steps...)
 	}
-	return &pointChecker{prog: prog, steps: steps, env: prog.NewEnv()}
+	byName := make(map[string]int)
+	for i, n := range prog.TupleNames() {
+		byName[n] = i
+	}
+	tupleIdx := make([]int, len(prog.Loops))
+	for i, lp := range prog.Loops {
+		tupleIdx[i] = byName[lp.Iter.Name]
+	}
+	return &pointChecker{prog: prog, steps: steps, env: prog.NewEnv(), tupleIdx: tupleIdx}
 }
 
 // valid reports whether the tuple satisfies every constraint; it also
 // leaves the environment loaded for domain materialization.
 func (pc *pointChecker) valid(tuple []int64) bool {
 	for i, lp := range pc.prog.Loops {
-		pc.env.Slots[lp.Slot] = expr.IntVal(tuple[i])
+		pc.env.Slots[lp.Slot] = expr.IntVal(tuple[pc.tupleIdx[i]])
 	}
 	for i := range pc.steps {
 		st := &pc.steps[i]
@@ -335,13 +393,14 @@ func (pc *pointChecker) valid(tuple []int64) bool {
 	return true
 }
 
-// domainValues materializes the domain of loop d for the outer values in
-// tuple[:d].
+// domainValues materializes the domain of loop depth d for the outer
+// loops' values in tuple (tuple is indexed in declaration order via
+// tupleIdx, not nest order).
 func (pc *pointChecker) domainValues(tuple []int64, d int) []int64 {
 	// Bind outer loop variables and recompute their derived steps so the
 	// domain's dependencies are fresh.
 	for i := 0; i < d; i++ {
-		pc.env.Slots[pc.prog.Loops[i].Slot] = expr.IntVal(tuple[i])
+		pc.env.Slots[pc.prog.Loops[i].Slot] = expr.IntVal(tuple[pc.tupleIdx[i]])
 	}
 	for _, st := range pc.prog.Prelude {
 		if st.Kind == plan.AssignStep {
@@ -368,16 +427,16 @@ func (pc *pointChecker) domainValues(tuple []int64, d int) []int64 {
 	return vals
 }
 
-// repair walks dimensions outward-in, snapping each coordinate to the
+// repair walks loop depths outward-in, snapping each coordinate to the
 // nearest value of its (context-dependent) domain. It returns false if
 // some domain is empty.
 func (pc *pointChecker) repair(tuple []int64) bool {
-	for d := range tuple {
+	for d := range pc.prog.Loops {
 		vals := pc.domainValues(tuple, d)
 		if len(vals) == 0 {
 			return false
 		}
-		tuple[d] = nearest(vals, tuple[d])
+		tuple[pc.tupleIdx[d]] = nearest(vals, tuple[pc.tupleIdx[d]])
 	}
 	return true
 }
@@ -426,22 +485,25 @@ func (t *Tuner) runHillClimb(opts Options) (*Report, error) {
 		for step := 0; step < opts.Steps; step++ {
 			improved := false
 			// Propose moves in each dimension: neighbouring domain values.
-			dims := rng.Perm(len(cur))
+			// d walks loop depths; ti is the tuple position of that loop's
+			// iterator (tuples are in declaration order).
+			dims := rng.Perm(len(pc.prog.Loops))
 			for _, d := range dims {
+				ti := pc.tupleIdx[d]
 				vals := pc.domainValues(cur, d)
 				if len(vals) < 2 {
 					continue
 				}
-				idx := indexOf(vals, cur[d])
+				idx := indexOf(vals, cur[ti])
 				// Try distance-1 and distance-2 moves: the wider step
 				// escapes couplings like parity constraints, where every
 				// single-step move of one coordinate is infeasible.
 				for _, j := range []int{idx - 1, idx + 1, idx - 2, idx + 2} {
-					if j < 0 || j >= len(vals) || vals[j] == cur[d] {
+					if j < 0 || j >= len(vals) || vals[j] == cur[ti] {
 						continue
 					}
 					cand := append([]int64(nil), cur...)
-					cand[d] = vals[j]
+					cand[ti] = vals[j]
 					if !pc.repair(cand) || !pc.valid(cand) {
 						continue
 					}

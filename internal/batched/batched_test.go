@@ -95,9 +95,11 @@ func TestSpaceStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range prog.IterNames() {
+	// Tuples are emitted in declaration order regardless of the nest the
+	// planner chose; IterOrder is the decode contract for FromTuple.
+	for i, n := range prog.TupleNames() {
 		if n != IterOrder[i] {
-			t.Errorf("loop %d = %s, want %s", i, n, IterOrder[i])
+			t.Errorf("tuple slot %d = %s, want %s", i, n, IterOrder[i])
 		}
 	}
 	// Cross-engine agreement on this second space.

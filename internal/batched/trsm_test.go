@@ -67,9 +67,11 @@ func TestTRSMSpaceCrossEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range prog.IterNames() {
+	// Tuples are emitted in declaration order regardless of the nest the
+	// planner chose; TRSMIterOrder is the decode contract for TRSMFromTuple.
+	for i, n := range prog.TupleNames() {
 		if n != TRSMIterOrder[i] {
-			t.Errorf("loop %d = %s, want %s", i, n, TRSMIterOrder[i])
+			t.Errorf("tuple slot %d = %s, want %s", i, n, TRSMIterOrder[i])
 		}
 	}
 	comp, err := engine.NewCompiled(prog)

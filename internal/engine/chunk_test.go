@@ -134,7 +134,9 @@ func TestChunkStringFallback(t *testing.T) {
 	s.Range("j", expr.IntLit(0), expr.IntLit(10))
 	s.Constrain("modecheck", space.Hard,
 		expr.And(expr.Eq(expr.NewRef("mode"), expr.StrLit("nn")), expr.Gt(expr.NewRef("j"), expr.IntLit(4))))
-	prog, err := plan.Compile(s, plan.Options{DisableFolding: true})
+	// DisableReorder pins the declared nest: the test needs the
+	// string-bearing check to sit in the innermost loop body.
+	prog, err := plan.Compile(s, plan.Options{DisableFolding: true, DisableReorder: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -503,23 +503,25 @@ func (c *Compiled) Run(opts Options) (*Stats, error) {
 }
 
 type compiledState struct {
-	c     *Compiled
-	reg   []int64
-	stats *Stats
-	opts  Options
-	ctl   *runCtl
-	tuple []int64
-	chunk *compiledChunk // non-nil when the innermost loop runs chunked
+	c          *Compiled
+	reg        []int64
+	stats      *Stats
+	opts       Options
+	ctl        *runCtl
+	tuple      []int64
+	tupleSlots []int          // emission registers, source declaration order
+	chunk      *compiledChunk // non-nil when the innermost loop runs chunked
 }
 
 func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
 	state := &compiledState{
-		c:     c,
-		reg:   make([]int64, c.prog.NumSlots()),
-		stats: NewStats(c.prog),
-		opts:  opts,
-		ctl:   ctl,
-		tuple: make([]int64, len(c.prog.Loops)),
+		c:          c,
+		reg:        make([]int64, c.prog.NumSlots()),
+		stats:      NewStats(c.prog),
+		opts:       opts,
+		ctl:        ctl,
+		tuple:      make([]int64, len(c.prog.Loops)),
+		tupleSlots: c.prog.TupleSlots(),
 	}
 	for _, in := range c.initInts {
 		state.reg[in.slot] = in.v
@@ -627,8 +629,8 @@ func (s *compiledState) survivor() bool {
 	}
 	s.stats.Survivors++
 	if s.opts.OnTuple != nil {
-		for i, lp := range s.c.loops {
-			s.tuple[i] = s.reg[lp.slot]
+		for i, slot := range s.tupleSlots {
+			s.tuple[i] = s.reg[slot]
 		}
 		if !s.opts.OnTuple(s.tuple) {
 			s.ctl.stop()

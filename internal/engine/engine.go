@@ -71,11 +71,13 @@ type Options struct {
 	SplitDepth int
 
 	// OnTuple, if non-nil, is called for every surviving tuple with the
-	// loop-variable values in nest order. The slice is reused and owned by
-	// the calling worker; copy it to retain. Returning false stops the
-	// whole run promptly (all workers observe the cancellation). With
-	// Workers > 1 the callback is invoked concurrently and must be safe
-	// for that.
+	// loop-variable values in source declaration order (plan.TupleNames),
+	// independent of the nest order the planner chose — decoders keyed to
+	// the declaration order stay valid under loop reordering. The slice is
+	// reused and owned by the calling worker; copy it to retain. Returning
+	// false stops the whole run promptly (all workers observe the
+	// cancellation). With Workers > 1 the callback is invoked concurrently
+	// and must be safe for that.
 	OnTuple func(tuple []int64) bool
 
 	// Limit, if positive, stops enumeration after this many survivors.

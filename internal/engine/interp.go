@@ -260,6 +260,7 @@ type interpState struct {
 	opts  Options
 	ctl   *runCtl
 	tuple []int64
+	names []string     // tuple emission names, source declaration order
 	chunk *interpChunk // non-nil when the innermost loop may run chunked
 
 	// Reused scratch, so the hot loop stops allocating: deferred-call
@@ -291,6 +292,7 @@ func (in *Interp) newState(opts Options, ctl *runCtl) *interpState {
 		opts:       opts,
 		ctl:        ctl,
 		tuple:      make([]int64, len(in.prog.Loops)),
+		names:      in.prog.TupleNames(),
 		rangeBuf:   make([][]int64, len(in.prog.Loops)),
 		iterArgBuf: make([][]expr.Value, len(in.prog.Loops)),
 		whileCtl:   make([]whileControl, len(in.prog.Loops)),
@@ -426,8 +428,8 @@ func (s *interpState) survivor() bool {
 	}
 	s.stats.Survivors++
 	if s.opts.OnTuple != nil {
-		for i, lp := range s.in.prog.Loops {
-			s.tuple[i] = s.env[lp.Iter.Name].I
+		for i, name := range s.names {
+			s.tuple[i] = s.env[name].I
 		}
 		if !s.opts.OnTuple(s.tuple) {
 			s.ctl.stop()

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// adversarialOrder returns a DAG-valid loop order biased toward reversing
+// the declared nest: at each step it places the latest-declared iterator
+// whose domain dependencies are already placed. On dependency-free spaces
+// this is the exact reversal — the worst case the reorder optimizer is
+// supposed to recover from when a user declares it.
+func adversarialOrder(prog *plan.Program) []string {
+	declared := prog.IterNames()
+	placed := make(map[string]bool, len(declared))
+	out := make([]string, 0, len(declared))
+	for len(out) < len(declared) {
+		for i := len(declared) - 1; i >= 0; i-- {
+			name := declared[i]
+			if placed[name] {
+				continue
+			}
+			ready := true
+			for _, dep := range declared {
+				if dep != name && !placed[dep] && prog.Graph.Reaches(dep, name) {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out = append(out, name)
+				placed[name] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// canonicalize sorts a tuple set lexicographically in place, so survivor
+// sets enumerated under different nest orders compare equal. Tuples are
+// emitted in declaration order under every nest, so element i always
+// means the same iterator.
+func canonicalize(tuples [][]int64) {
+	sort.Slice(tuples, func(a, b int) bool {
+		ta, tb := tuples[a], tuples[b]
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return ta[i] < tb[i]
+			}
+		}
+		return false
+	})
+}
+
+// TestFuzzReorderGrid is the loop-order counterpart of TestFuzzCrossEngine:
+// for random spaces it enumerates under three order modes — the planner's
+// automatic choice, the declared nest (DisableReorder), and an adversarial
+// manual Order — across all three backends, sequential and parallel,
+// scalar and chunked. The survivor SET must be bit-identical across order
+// modes (only the enumeration sequence may differ), and within one order
+// mode every backend/schedule must agree on the full statistics.
+func TestFuzzReorderGrid(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 15
+	}
+	rng := rand.New(rand.NewSource(20160523 + 7)) // distinct stream from the cross-engine fuzz
+	for trial := 0; trial < iterations; trial++ {
+		s := randomSpace(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random space: %v", trial, err)
+		}
+
+		// The declared nest is the reference: compile it first to size the
+		// space and derive the adversarial order from its DAG.
+		declProg, err := plan.Compile(s, plan.Options{DisableReorder: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		declComp, err := NewCompiled(declProg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, wantStats, err := CollectTuples(declComp, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if wantStats.TotalVisits() > 500_000 {
+			continue // keep the grid fast
+		}
+		canonicalize(want)
+
+		modes := []struct {
+			label string
+			opts  plan.Options
+		}{
+			{"auto", plan.Options{}},
+			{"declared", plan.Options{DisableReorder: true}},
+			{"manual-adversarial", plan.Options{Order: adversarialOrder(declProg)}},
+		}
+		for _, m := range modes {
+			prog, err := plan.Compile(s, m.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, m.label, err)
+			}
+			comp, err := NewCompiled(prog)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, m.label, err)
+			}
+			got, modeStats, err := CollectTuples(comp, 0)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, m.label, err)
+			}
+			canonicalize(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s: survivor set changed under reorder (%d vs %d tuples)\norder: %v\nspace:\n%s",
+					trial, m.label, len(got), len(want), prog.IterNames(), prog.Describe())
+			}
+			if modeStats.Survivors != wantStats.Survivors {
+				t.Fatalf("trial %d %s: survivors %d want %d", trial, m.label, modeStats.Survivors, wantStats.Survivors)
+			}
+			// Within the mode: all backends agree on the canonical set, and
+			// every worker x chunk schedule reproduces the mode's statistics.
+			for _, e := range []Engine{NewInterp(prog), NewVM(prog)} {
+				gotE, _, err := CollectTuples(e, 0)
+				if err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, m.label, e.Name(), err)
+				}
+				canonicalize(gotE)
+				if !reflect.DeepEqual(gotE, want) {
+					t.Fatalf("trial %d %s %s: %d tuples, want %d\nspace:\n%s",
+						trial, m.label, e.Name(), len(gotE), len(want), prog.Describe())
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				for _, chunk := range []int{1, 64} {
+					st, err := comp.Run(Options{Workers: workers, ChunkSize: chunk})
+					if err != nil {
+						t.Fatalf("trial %d %s workers=%d chunk=%d: %v", trial, m.label, workers, chunk, err)
+					}
+					if st.Survivors != modeStats.Survivors ||
+						!reflect.DeepEqual(st.LoopVisits, modeStats.LoopVisits) ||
+						!reflect.DeepEqual(st.Checks, modeStats.Checks) ||
+						!reflect.DeepEqual(st.Kills, modeStats.Kills) {
+						t.Fatalf("trial %d %s workers=%d chunk=%d: stats diverge within order mode\nsurvivors %d want %d\nvisits %v want %v\nkills %v want %v\nspace:\n%s",
+							trial, m.label, workers, chunk, st.Survivors, modeStats.Survivors,
+							st.LoopVisits, modeStats.LoopVisits, st.Kills, modeStats.Kills, prog.Describe())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReorderManualOrderRejectsDAGViolation pins the error contract for
+// Options.Order: an order that puts an iterator before one its domain
+// depends on is rejected at compile time with a message naming both.
+func TestReorderManualOrderRejectsDAGViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSpace(rng)
+		prog, err := plan.Compile(s, plan.Options{DisableReorder: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		declared := prog.IterNames()
+		// Find a dependent pair; most random spaces have at least one.
+		var from, to string
+		for i, a := range declared {
+			for _, b := range declared[i+1:] {
+				if prog.Graph.Reaches(a, b) {
+					from, to = a, b
+				}
+			}
+		}
+		if from == "" {
+			continue
+		}
+		bad := make([]string, 0, len(declared))
+		bad = append(bad, to)
+		for _, n := range declared {
+			if n != to {
+				bad = append(bad, n)
+			}
+		}
+		if _, err := plan.Compile(s, plan.Options{Order: bad}); err == nil {
+			t.Fatalf("trial %d: order %v violating %s->%s accepted", trial, bad, from, to)
+		}
+		return // one violating space is enough
+	}
+	t.Skip("no dependent iterator pair found in 50 random spaces")
+}

@@ -89,11 +89,18 @@ type Stats struct {
 	// Merge leaves them alone.
 	SplitDepth int
 	Tiles      int
+
+	// ReorderApplied reports that the plan-time loop-order optimizer
+	// replaced the declared nest (plan.ReorderInfo), and EstimatedVisits
+	// is its cost-model prediction for the chosen order. Plan metadata
+	// copied at construction, not counters: Merge leaves them alone.
+	ReorderApplied  bool
+	EstimatedVisits int64
 }
 
 // NewStats returns zeroed counters sized for prog.
 func NewStats(prog *plan.Program) *Stats {
-	return &Stats{
+	s := &Stats{
 		LoopVisits:        make([]int64, len(prog.Loops)),
 		Checks:            make([]int64, len(prog.Constraints)),
 		Kills:             make([]int64, len(prog.Constraints)),
@@ -102,6 +109,13 @@ func NewStats(prog *plan.Program) *Stats {
 		BoundsNarrowed:    make([]int64, len(prog.Loops)),
 		IterationsSkipped: make([]int64, len(prog.Loops)),
 	}
+	if ri := prog.Reorder; ri != nil {
+		s.ReorderApplied = ri.Applied
+		if ri.EstimatedVisits < float64(1<<62) {
+			s.EstimatedVisits = int64(ri.EstimatedVisits)
+		}
+	}
+	return s
 }
 
 // Merge adds other's counters into s.
@@ -288,6 +302,11 @@ func (s *Stats) FunnelReport(prog *plan.Program) string {
 		}
 		fmt.Fprintf(&b, "bounds narrowing: %d loop entries tightened, %d iterations skipped\n",
 			narrowed, skipped)
+	}
+	if ri := prog.Reorder; ri != nil && ri.Applied {
+		fmt.Fprintf(&b, "loop order: %s  (reordered from %s; est. visits %.3g vs %.3g declared)\n",
+			strings.Join(ri.Chosen, ","), strings.Join(ri.Declared, ","),
+			ri.EstimatedVisits, ri.DeclaredVisits)
 	}
 	return b.String()
 }

@@ -105,7 +105,8 @@ type vmCode struct {
 	deferIDs   []int32 // stats id per deferred check
 	narrows    []vmNarrow
 	nregs      int
-	tupleSlots []int32
+	loopSlots  []int32      // loop-variable registers in nest order (tile prefixes)
+	tupleSlots []int32      // loop-variable registers in declaration order (emission)
 	chunk      *vmChunkCode // non-nil when the innermost loop is chunked
 }
 
@@ -169,7 +170,7 @@ func (w *vmWorker) runTile(prefix []int64) (err error) {
 	defer recoverRunError(&err)
 	x := w.x
 	for d, v := range prefix {
-		x.reg[x.code.tupleSlots[d]] = v
+		x.reg[x.code.loopSlots[d]] = v
 	}
 	x.stk = x.stk[:0]
 	x.run()
@@ -202,7 +203,10 @@ func (vm *VM) compile(opts Options, prefixDepth int, tile bool) (*vmCode, error)
 	}
 	a.code.hostDoms = make([]compiledDomain, n)
 	for _, lp := range prog.Loops {
-		a.code.tupleSlots = append(a.code.tupleSlots, int32(lp.Slot))
+		a.code.loopSlots = append(a.code.loopSlots, int32(lp.Slot))
+	}
+	for _, slot := range prog.TupleSlots() {
+		a.code.tupleSlots = append(a.code.tupleSlots, int32(slot))
 	}
 	// Compile the innermost loop's vector stream when chunking is on and
 	// the plan marked the loop eligible. A vec-emission failure only means

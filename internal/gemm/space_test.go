@@ -219,8 +219,10 @@ func enumeratePipeline(t *testing.T, cfg Config, opts plan.Options, e func(p *pl
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := prog.IterNames(); !reflect.DeepEqual(got, IterOrder) {
-		t.Fatalf("loop order = %v, want %v", got, IterOrder)
+	// Tuples are emitted in declaration order regardless of the nest the
+	// planner chose; IterOrder is the decode contract for FromTuple.
+	if got := prog.TupleNames(); !reflect.DeepEqual(got, IterOrder) {
+		t.Fatalf("tuple order = %v, want %v", got, IterOrder)
 	}
 	var out []refTuple
 	_, err = e(prog).Run(engine.Options{OnTuple: func(tu []int64) bool {

@@ -175,6 +175,12 @@ type Program struct {
 	// Vector is the innermost-chunk lane layout (see vector.go); nil when
 	// the program has no loops.
 	Vector *VectorLayout
+
+	// Reorder records the loop-order optimizer's decision (see reorder.go):
+	// estimated cardinalities, sampled constraint selectivities, and the
+	// declared vs. chosen order. nil when reordering was disabled, a manual
+	// Order was given, or the space is out of the optimizer's scope.
+	Reorder *ReorderInfo
 }
 
 // Options control plan compilation.
@@ -207,10 +213,81 @@ type Options struct {
 	// as before. Survivors and per-constraint kill counts are unchanged
 	// either way. Exists for the narrowing ablation.
 	DisableNarrowing bool
+
+	// DisableReorder skips the selectivity-driven loop-order optimizer
+	// (reorder.go) and keeps the declared (stable topological) order.
+	// Survivor sets are identical either way; visit counts and
+	// per-constraint kill counts legitimately shift with the order.
+	// Exists for the reorder ablation. A non-nil Order implies it.
+	DisableReorder bool
 }
 
-// Compile builds the Program for s.
+// Compile builds the Program for s. Unless opts disables it (or fixes an
+// explicit Order), a plan-time loop-order optimization runs first: a probe
+// compile estimates per-constraint selectivity and per-loop cardinality,
+// a cost-model search picks the cheapest DAG-valid order (see reorder.go),
+// and the winning order — when it beats the declared one decisively — is
+// fed back through the Options.Order path so every later pass (hoisting,
+// CSE, narrowing, chunk layout, split-depth choice) sees the better nest.
 func Compile(s *space.Space, opts Options) (*Program, error) {
+	if opts.DisableReorder || opts.Order != nil {
+		return compile(s, opts)
+	}
+	probe, err := compile(s, probeOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	info := chooseReorder(probe)
+	if info != nil && info.Applied {
+		// Arbitrate between the two orders on fully compiled programs: the
+		// search-time model cannot see how much bounds narrowing each order
+		// wins, so re-score both with the compiled bound groups in place
+		// (estimateCompiledVisits) and keep the declared nest unless the
+		// chosen one still beats it decisively. The arbitration compiles
+		// use fixed flags (hoisting on, CSE off, narrowing on, folding as
+		// requested) so every ablation combination of one space reaches the
+		// same decision — cross-engine comparisons rely on identical tuple
+		// streams across those combos.
+		arb := probeOptions(opts)
+		arb.DisableNarrowing = false
+		arbChosen := arb
+		arbChosen.Order = info.Chosen
+		declProg, dErr := compile(s, arb)
+		chosenProg, cErr := compile(s, arbChosen)
+		apply := dErr == nil && cErr == nil
+		if apply {
+			sel := make(map[string]float64, len(info.Selectivity))
+			for _, e := range info.Selectivity {
+				sel[e.Name] = e.Pass
+			}
+			info.EstimatedVisits = estimateCompiledVisits(chosenProg, sel)
+			info.DeclaredVisits = estimateCompiledVisits(declProg, sel)
+			apply = info.EstimatedVisits < info.DeclaredVisits*reorderMargin
+		}
+		if apply {
+			o := opts
+			o.Order = info.Chosen
+			if prog, err := compile(s, o); err == nil {
+				prog.Reorder = info
+				return prog, nil
+			}
+			// A chosen order that fails to recompile (it should not: it is
+			// DAG-valid by construction) falls back to the declared order.
+		}
+		info.Applied = false
+		info.Chosen = info.Declared
+		info.EstimatedVisits = info.DeclaredVisits
+	}
+	prog, err := compile(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	prog.Reorder = info
+	return prog, nil
+}
+
+// compile builds the Program for s with the loop order opts dictates.
+func compile(s *space.Space, opts Options) (*Program, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -676,6 +753,29 @@ func (p *Program) IterSlots() []int {
 	return out
 }
 
+// TupleNames returns the loop variables in source declaration order — the
+// order OnTuple callbacks and generated code emit tuple values, which is
+// deliberately independent of the nest order the planner chose. Decoders
+// (kernelsim.FromTuple and friends) stay valid under loop reordering.
+func (p *Program) TupleNames() []string {
+	out := make([]string, 0, len(p.Loops))
+	for _, it := range p.Source.Iterators() {
+		out = append(out, it.Name)
+	}
+	return out
+}
+
+// TupleSlots returns the environment slots of the loop variables in source
+// declaration order (TupleNames order).
+func (p *Program) TupleSlots() []int {
+	out := make([]int, 0, len(p.Loops))
+	for _, it := range p.Source.Iterators() {
+		slot, _ := p.Scope.Slot(it.Name)
+		out = append(out, slot)
+	}
+	return out
+}
+
 // NewEnv returns a fresh environment with settings prefilled.
 func (p *Program) NewEnv() *expr.Env {
 	env := expr.NewEnv(p.NumSlots())
@@ -703,20 +803,43 @@ func (p *Program) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "program: %d loops, %d constraints, %d folded constants\n",
 		len(p.Loops), len(p.Constraints), len(p.Folded))
+	selNote := func(string) string { return "" }
+	cardNote := func(string) string { return "" }
+	if ri := p.Reorder; ri != nil {
+		if ri.Applied {
+			fmt.Fprintf(&b, "order: %s  # reordered from %s\n",
+				strings.Join(ri.Chosen, ", "), strings.Join(ri.Declared, ", "))
+		}
+		fmt.Fprintf(&b, "reorder: %s\n", ri)
+		selNote = func(name string) string {
+			if est, ok := ri.SelectivityOf(name); ok {
+				return fmt.Sprintf(", sel~%.3f", est.Pass)
+			}
+			return ""
+		}
+		cardNote = func(name string) string {
+			if c, ok := ri.Cards[name]; ok {
+				return fmt.Sprintf(", ~%d vals", c)
+			}
+			return ""
+		}
+	}
 	if len(p.Prelude) > 0 {
 		b.WriteString("prelude:\n")
 		for _, st := range p.Prelude {
-			writeStep(&b, "  ", st)
+			writeStep(&b, "  ", st, selNote)
 		}
 	}
 	for i, lp := range p.Loops {
 		indent := strings.Repeat("  ", i)
 		switch lp.Iter.Kind {
 		case space.ExprIter:
-			fmt.Fprintf(&b, "%sfor %s in %s:  # L%d\n", indent, lp.Iter.Name, lp.Domain, lp.Level)
+			fmt.Fprintf(&b, "%sfor %s in %s:  # L%d%s\n", indent, lp.Iter.Name, lp.Domain,
+				lp.Level, cardNote(lp.Iter.Name))
 		default:
-			fmt.Fprintf(&b, "%sfor %s in @%s(%s):  # L%d\n", indent, lp.Iter.Name,
-				lp.Iter.Kind, strings.Join(lp.Iter.DeclaredDeps, ", "), lp.Level)
+			fmt.Fprintf(&b, "%sfor %s in @%s(%s):  # L%d%s\n", indent, lp.Iter.Name,
+				lp.Iter.Kind, strings.Join(lp.Iter.DeclaredDeps, ", "), lp.Level,
+				cardNote(lp.Iter.Name))
 		}
 		if lp.Bounds != nil {
 			for _, g := range lp.Bounds.Groups {
@@ -738,21 +861,23 @@ func (p *Program) Describe() string {
 			}
 		}
 		for _, st := range lp.Steps {
-			writeStep(&b, indent+"  ", st)
+			writeStep(&b, indent+"  ", st, selNote)
 		}
 	}
 	return b.String()
 }
 
-func writeStep(b *strings.Builder, indent string, st Step) {
+func writeStep(b *strings.Builder, indent string, st Step, selNote func(string) string) {
 	switch st.Kind {
 	case AssignStep:
 		fmt.Fprintf(b, "%s%s = %s\n", indent, st.Name, st.Expr)
 	case CheckStep:
 		if st.Constraint.Deferred() {
-			fmt.Fprintf(b, "%sif %s(...): continue  # %s, deferred\n", indent, st.Name, st.Constraint.Class)
+			fmt.Fprintf(b, "%sif %s(...): continue  # %s, deferred%s\n", indent, st.Name,
+				st.Constraint.Class, selNote(st.Name))
 		} else {
-			fmt.Fprintf(b, "%sif %s: continue  # %s, %s\n", indent, st.Expr, st.Name, st.Constraint.Class)
+			fmt.Fprintf(b, "%sif %s: continue  # %s, %s%s\n", indent, st.Expr, st.Name,
+				st.Constraint.Class, selNote(st.Name))
 		}
 	}
 }

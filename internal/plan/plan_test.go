@@ -28,7 +28,9 @@ func buildSpace(t *testing.T) *space.Space {
 }
 
 func TestCompileBasics(t *testing.T) {
-	prog, err := Compile(buildSpace(t), Options{})
+	// DisableReorder pins the declared nest: this test (and the hoisting
+	// ones below) asserts placement relative to the declaration order.
+	prog, err := Compile(buildSpace(t), Options{DisableReorder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func stepDepth(prog *Program, name string) int {
 func TestHoistingDepths(t *testing.T) {
 	// Narrowing would absorb k_outer/k_mid into loop bounds and delete
 	// the very steps this test places; pin the hoisting behavior alone.
-	prog, err := Compile(buildSpace(t), Options{DisableNarrowing: true})
+	prog, err := Compile(buildSpace(t), Options{DisableNarrowing: true, DisableReorder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestHoistingDepths(t *testing.T) {
 }
 
 func TestDisableHoisting(t *testing.T) {
-	prog, err := Compile(buildSpace(t), Options{DisableHoisting: true})
+	prog, err := Compile(buildSpace(t), Options{DisableHoisting: true, DisableReorder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestDisableHoisting(t *testing.T) {
 }
 
 func TestDisableFolding(t *testing.T) {
-	prog, err := Compile(buildSpace(t), Options{DisableFolding: true})
+	prog, err := Compile(buildSpace(t), Options{DisableFolding: true, DisableReorder: true})
 	if err != nil {
 		t.Fatal(err)
 	}

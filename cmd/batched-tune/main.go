@@ -10,14 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/autotune"
 	"repro/internal/batched"
+	"repro/internal/cli"
 	"repro/internal/device"
 	"repro/internal/plan"
 )
@@ -35,6 +39,10 @@ func main() {
 		noNarrow  = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		orderSpec = flag.String("order", "", "comma-separated loop order, e.g. nb,dim_x,mpb,unroll (implies -no-reorder; must respect domain dependencies)")
+		ckptPath  = flag.String("checkpoint", "", "snapshot tuning progress to this file (single -sizes value only; resume with -resume)")
+		resumeP   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (single -sizes value only)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "snapshot cadence in completed tiles for -checkpoint")
+		timeout   = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	planOpts := plan.Options{
@@ -51,13 +59,30 @@ func main() {
 		dev, err = device.Lookup(*devName)
 	}
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 
 	ns, err := parseSizes(*sizes)
 	if err != nil {
-		fatal(err)
+		fail(cli.Usagef("%v", err))
 	}
+	ck := ckptFlags{path: *ckptPath, resume: *resumeP, every: *ckptEvery}
+	if (ck.path != "" || ck.resume != "") && len(ns) != 1 {
+		// One checkpoint file maps to one enumeration; a multi-size sweep
+		// would overwrite it on every row.
+		fail(cli.Usagef("-checkpoint/-resume require a single -sizes value, got %d", len(ns)))
+	}
+
+	// Ctrl-C / SIGTERM and -timeout cancel the sweep instead of killing the
+	// process; with -checkpoint the run leaves a resumable snapshot behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Printf("batched %s on %s, batch=%d\n\n", *kernel, dev.Name, *batch)
 	fmt.Printf("%5s %10s %12s %12s %9s   %s\n",
 		"n", "survivors", "tuned GF/s", "baseline", "speedup", "winning kernel")
@@ -65,23 +90,47 @@ func main() {
 	for _, n := range ns {
 		switch *kernel {
 		case "cholesky":
-			runCholesky(dev, n, *batch, *workers, *chunk, planOpts)
+			runCholesky(ctx, dev, n, *batch, *workers, *chunk, planOpts, ck)
 		case "trsm":
-			runTRSM(dev, n, *nrhs, *batch, *workers, *chunk, planOpts)
+			runTRSM(ctx, dev, n, *nrhs, *batch, *workers, *chunk, planOpts, ck)
 		default:
-			fatal(fmt.Errorf("unknown kernel %q (want cholesky or trsm)", *kernel))
+			fail(cli.Usagef("unknown kernel %q (want cholesky or trsm)", *kernel))
 		}
 	}
 	fmt.Println("\n(speedup is Table I's 'Improvement': paper reports up to 1000% small, 300% medium)")
 }
 
-func runCholesky(dev *device.Properties, n, batch int64, workers, chunk int, planOpts plan.Options) {
+// ckptFlags carries the checkpoint/resume flag values into the per-size
+// tuning helpers.
+type ckptFlags struct {
+	path, resume string
+	every        int
+}
+
+// options builds the autotune options shared by both kernels.
+func (ck ckptFlags) options(workers, chunk int) autotune.Options {
+	return autotune.Options{
+		Strategy: autotune.Exhaustive, TopK: 1, Workers: workers, ChunkSize: chunk,
+		CheckpointPath: ck.path, ResumePath: ck.resume, CheckpointEvery: ck.every,
+	}
+}
+
+// tuneErr reports a failed or cancelled tuning run, pointing at the
+// checkpoint file when one was being written.
+func (ck ckptFlags) tuneErr(err error) {
+	if ck.path != "" {
+		fmt.Printf("progress saved; continue with -resume %s\n", ck.path)
+	}
+	fail(err)
+}
+
+func runCholesky(ctx context.Context, dev *device.Properties, n, batch int64, workers, chunk int, planOpts plan.Options, ck ckptFlags) {
 	cfg := batched.DefaultConfig(n)
 	cfg.Batch = batch
 	cfg.Device = dev
 	s, err := batched.Space(cfg)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	tuner, err := autotune.NewWithOptions(s, func(tuple []int64) float64 {
 		k, err := batched.FromTuple(tuple)
@@ -91,11 +140,11 @@ func runCholesky(dev *device.Properties, n, batch int64, workers, chunk int, pla
 		return batched.Estimate(dev, k, cfg)
 	}, planOpts)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
-	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers, ChunkSize: chunk})
+	rep, err := tuner.RunContext(ctx, ck.options(workers, chunk))
 	if err != nil {
-		fatal(err)
+		ck.tuneErr(err)
 	}
 	if len(rep.Best) == 0 {
 		fmt.Printf("%5d %10d %12s %12s %9s   no feasible kernels\n", n, rep.Survivors, "-", "-", "-")
@@ -108,14 +157,14 @@ func runCholesky(dev *device.Properties, n, batch int64, workers, chunk int, pla
 		k.NB, k.DimX, k.MPB, k.Unroll)
 }
 
-func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers, chunk int, planOpts plan.Options) {
+func runTRSM(ctx context.Context, dev *device.Properties, n, nrhs, batch int64, workers, chunk int, planOpts plan.Options, ck ckptFlags) {
 	cfg := batched.DefaultTRSMConfig(n)
 	cfg.NRHS = nrhs
 	cfg.Batch = batch
 	cfg.Device = dev
 	s, err := batched.TRSMSpace(cfg)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	tuner, err := autotune.NewWithOptions(s, func(tuple []int64) float64 {
 		k, err := batched.TRSMFromTuple(tuple)
@@ -125,11 +174,11 @@ func runTRSM(dev *device.Properties, n, nrhs, batch int64, workers, chunk int, p
 		return batched.EstimateTRSM(dev, k, cfg)
 	}, planOpts)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
-	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: workers, ChunkSize: chunk})
+	rep, err := tuner.RunContext(ctx, ck.options(workers, chunk))
 	if err != nil {
-		fatal(err)
+		ck.tuneErr(err)
 	}
 	if len(rep.Best) == 0 {
 		fmt.Printf("%5d %10d %12s %12s %9s   no feasible kernels\n", n, rep.Survivors, "-", "-", "-")
@@ -174,7 +223,6 @@ func parseSizes(s string) ([]int64, error) {
 	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "batched-tune:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("batched-tune", err)
 }

@@ -13,12 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/gemm"
@@ -53,17 +58,21 @@ func main() {
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
+		ckptPath   = flag.String("checkpoint", "", "snapshot enumeration progress to this file (resume with -resume)")
+		resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint file")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in completed tiles for -checkpoint")
+		timeout    = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
 	s, err := loadSpace(*specPath, *gemmName, *devName, *devJSON, *scale, *minThreads)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if *format {
 		text, err := speclang.Format(s)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(text)
 		return
@@ -78,7 +87,7 @@ func main() {
 		Order:            splitOrder(*orderSpec),
 	})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if *describe {
 		fmt.Print(prog.Describe())
@@ -91,11 +100,11 @@ func main() {
 
 	eng, err := pickEngine(*engineName, prog)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	proto, err := pickProtocol(*protoName)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 
 	opts := engine.Options{Protocol: proto, Workers: *workers, SplitDepth: *splitDepth, ChunkSize: *chunk}
@@ -122,10 +131,35 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM and -timeout cancel the sweep instead of killing the
+	// process: the engine drains its workers, reports partial progress, and
+	// (with -checkpoint) leaves a resumable snapshot behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *ckptPath != "" || *resumePath != "" {
+		fp := checkpoint.Fingerprint(prog, eng.Name(), opts)
+		if *resumePath != "" {
+			res, _, err := checkpoint.Resume(*resumePath, fp)
+			if err != nil {
+				fail(err)
+			}
+			opts.Resume = res
+			fmt.Printf("resuming: %d of %d tiles already complete\n", res.CompletedTiles(), res.Tiles)
+		}
+		if *ckptPath != "" {
+			opts.Checkpoint = checkpoint.NewWriter(*ckptPath, fp, *ckptEvery, nil)
+		}
+	}
+
 	start := time.Now()
-	st, err := eng.Run(opts)
-	if err != nil {
-		fatal(err)
+	st, runErr := eng.RunContext(ctx, opts)
+	if runErr != nil && (st == nil || !st.Cancelled) {
+		fail(runErr)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("engine=%s protocol=%s workers=%d elapsed=%s\n",
@@ -136,6 +170,12 @@ func main() {
 	fmt.Printf("visited=%d survivors=%d pruned=%.4f%% (%.2fM iterations/s)\n",
 		st.TotalVisits(), st.Survivors, 100*st.PruneRate(),
 		float64(st.TotalVisits())/elapsed.Seconds()/1e6)
+	if st.Cancelled {
+		if *ckptPath != "" {
+			fmt.Printf("progress saved; continue with -resume %s\n", *ckptPath)
+		}
+		fail(fmt.Errorf("sweep cancelled: %w", runErr))
+	}
 	if len(prog.Temps) > 0 {
 		fmt.Printf("expr optimizer: temps=%d evals=%d reuse-hits=%d exprops=%d\n",
 			len(prog.Temps), st.TotalTempEvals(), st.TotalTempHits(), st.ExprOps(prog))
@@ -157,7 +197,7 @@ func main() {
 	}
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(viz.RadialSVG(prog, st)), 0o644); err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
 	}
@@ -166,7 +206,7 @@ func main() {
 func loadSpace(specPath, gemmName, devName, devJSON string, scale, minThreads int64) (*space.Space, error) {
 	switch {
 	case specPath != "" && gemmName != "":
-		return nil, fmt.Errorf("use either -spec or -gemm, not both")
+		return nil, cli.Usagef("use either -spec or -gemm, not both")
 	case specPath != "":
 		src, err := os.ReadFile(specPath)
 		if err != nil {
@@ -191,7 +231,7 @@ func loadSpace(specPath, gemmName, devName, devJSON string, scale, minThreads in
 		cfg.MinThreadsPerMultiprocessor = minThreads
 		return gemm.Space(cfg)
 	default:
-		return nil, fmt.Errorf("one of -spec or -gemm is required")
+		return nil, cli.Usagef("one of -spec or -gemm is required")
 	}
 }
 
@@ -217,7 +257,7 @@ func pickEngine(name string, prog *plan.Program) (engine.Engine, error) {
 	case "compiled":
 		return engine.NewCompiled(prog)
 	default:
-		return nil, fmt.Errorf("unknown engine %q (want interp, vm, compiled)", name)
+		return nil, cli.Usagef("unknown engine %q (want interp, vm, compiled)", name)
 	}
 }
 
@@ -234,11 +274,10 @@ func pickProtocol(name string) (engine.Protocol, error) {
 	case "repeat":
 		return engine.ProtoRepeat, nil
 	default:
-		return 0, fmt.Errorf("unknown protocol %q", name)
+		return 0, cli.Usagef("unknown protocol %q", name)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "beast:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("beast", err)
 }

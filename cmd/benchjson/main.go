@@ -25,6 +25,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"repro/internal/cli"
 )
 
 func main() {
@@ -37,7 +39,7 @@ func main() {
 	flag.Parse()
 	snap, err := loadInput(*in)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if snap.Date == "" {
 		snap.Date = time.Now().Format("2006-01-02")
@@ -45,37 +47,36 @@ func main() {
 	if *baseline != "" {
 		base, err := loadSnapshot(*baseline)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(Compare(base, snap))
 		if *maxRegress != "" {
 			limit, err := parseFraction(*maxRegress)
 			if err != nil {
-				fatal(err)
+				fail(err)
 			}
 			if regs := Regressions(base, snap, limit); len(regs) > 0 {
-				fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %s:\n", len(regs), *maxRegress)
 				for _, r := range regs {
 					fmt.Fprintln(os.Stderr, "  "+r)
 				}
-				os.Exit(1)
+				fail(fmt.Errorf("%d benchmark(s) regressed beyond %s", len(regs), *maxRegress))
 			}
 			fmt.Printf("regression gate passed: no ns/op increase beyond %s\n", *maxRegress)
 		}
 		return
 	}
 	if *maxRegress != "" {
-		fatal(fmt.Errorf("-max-regress requires -baseline"))
+		fail(cli.Usagef("-max-regress requires -baseline"))
 	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+		fail(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
 }
@@ -122,7 +123,6 @@ func parseFraction(s string) (float64, error) {
 	return v, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchjson:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("benchjson", err)
 }

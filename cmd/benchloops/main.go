@@ -13,9 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/gensweep"
 	"repro/internal/loopbench"
@@ -53,7 +53,7 @@ func runEngine(e engine.Engine, p engine.Protocol) (int64, float64) {
 	start := time.Now()
 	st, err := e.Run(engine.Options{Protocol: p})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	return st.Survivors, time.Since(start).Seconds()
 }
@@ -102,7 +102,7 @@ func figure19(total int64, maxDepth int) {
 		prog := compile(depth, total)
 		comp, err := engine.NewCompiled(prog)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		iters, sec := runEngine(comp, engine.ProtoDefault)
 		row("fig19-closure", "-", depth, iters, sec)
@@ -130,12 +130,11 @@ func figure19(total int64, maxDepth int) {
 func compile(depth int, total int64) *plan.Program {
 	prog, err := plan.Compile(loopbench.Space(depth, total), plan.Options{})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	return prog
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchloops:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("benchloops", err)
 }

@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/batched"
+	"repro/internal/cli"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/gemm"
@@ -52,6 +56,10 @@ func main() {
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
+		ckptPath   = flag.String("checkpoint", "", "snapshot exhaustive-tuning progress to this file (resume with -resume)")
+		resumePath = flag.String("resume", "", "resume an interrupted exhaustive run from this checkpoint file")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in completed tiles for -checkpoint")
+		timeout    = flag.Duration("timeout", 0, "cancel the tuning run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	planOpts := plan.Options{
@@ -67,7 +75,7 @@ func main() {
 
 	cfg, err := gemm.ByName(*kernel)
 	if err != nil {
-		fatal(err)
+		fail(cli.Usagef("%v", err))
 	}
 	var dev *device.Properties
 	if *devJSON != "" {
@@ -76,7 +84,7 @@ func main() {
 		dev, err = device.Lookup(*devName)
 	}
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if *full {
 		*scale = 1
@@ -90,7 +98,7 @@ func main() {
 	}
 	s, err := gemm.Space(cfg)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	fmt.Printf("%s on %s\n%s\n", cfg.Name(), cfg.Device.Name, s.Summary())
 
@@ -101,15 +109,15 @@ func main() {
 	if *funnel {
 		prog, err := plan.Compile(s, planOpts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		eng, err := engine.NewCompiled(prog)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		st, err := eng.Run(engine.Options{Workers: *workers, SplitDepth: *splitDepth, ChunkSize: *chunk})
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(viz.ASCIIFunnel(prog, st))
 		return
@@ -119,7 +127,7 @@ func main() {
 	if *energy {
 		tuner, err := autotune.NewWithOptions(s, nil, planOpts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		rep, err := tuner.RunPareto(map[string]autotune.Objective{
 			"gflops": func(tuple []int64) float64 {
@@ -132,7 +140,7 @@ func main() {
 			},
 		}, autotune.Options{})
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		front := rep.Front
 		if len(front) > *topK {
@@ -156,36 +164,55 @@ func main() {
 		return kernelsim.EstimateGEMM(dev, k, prob).GFLOPS
 	}, planOpts)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
+	// Ctrl-C / SIGTERM and -timeout cancel the run instead of killing the
+	// process; an exhaustive run with -checkpoint leaves a resumable
+	// snapshot (progress plus the partial top-K) behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var rep *autotune.Report
 	runOpts := autotune.Options{
 		TopK: *topK, Workers: *workers, SplitDepth: *splitDepth,
 		ChunkSize: *chunk, Samples: *samples, Seed: *seed,
+		CheckpointPath: *ckptPath, ResumePath: *resumePath, CheckpointEvery: *ckptEvery,
 	}
 	switch *strategy {
 	case "exhaustive":
 		runOpts.Strategy = autotune.Exhaustive
-		rep, err = tuner.Run(runOpts)
+		rep, err = tuner.RunContext(ctx, runOpts)
 	case "sample":
 		runOpts.Strategy = autotune.RandomSample
-		rep, err = tuner.Run(runOpts)
+		rep, err = tuner.RunContext(ctx, runOpts)
 	case "hillclimb":
 		runOpts.Strategy = autotune.HillClimb
-		rep, err = tuner.Run(runOpts)
+		rep, err = tuner.RunContext(ctx, runOpts)
 	case "anneal":
-		rep, err = tuner.RunAnneal(autotune.AnnealOptions{Options: runOpts})
+		rep, err = tuner.RunAnnealContext(ctx, autotune.AnnealOptions{Options: runOpts})
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		fail(cli.Usagef("unknown strategy %q (want exhaustive, sample, hillclimb, anneal)", *strategy))
 	}
 	if err != nil {
-		fatal(err)
+		if rep != nil {
+			// A cancelled exhaustive run still carries the partial rankings.
+			fmt.Print(rep.Render())
+			if *ckptPath != "" {
+				fmt.Printf("progress saved; continue with -resume %s\n", *ckptPath)
+			}
+		}
+		fail(err)
 	}
 	fmt.Print(rep.Render())
 	if len(rep.Best) > 0 {
 		k, err := kernelsim.FromTuple(rep.Best[0].Tuple)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Printf("\nwinner (N=%d):\n%s\n", *n, kernelsim.Explain(dev, k, prob))
 	}
@@ -198,11 +225,11 @@ func main() {
 func compareBackends(s *space.Space, planOpts plan.Options, chunk int) {
 	prog, err := plan.Compile(s, planOpts)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	comp, err := engine.NewCompiled(prog)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	engines := []engine.Engine{engine.NewInterp(prog), engine.NewVM(prog), comp}
 	fmt.Printf("%-10s %14s %14s %12s %10s\n", "backend", "visited", "survivors", "seconds", "Mit/s")
@@ -211,7 +238,7 @@ func compareBackends(s *space.Space, planOpts plan.Options, chunk int) {
 		start := time.Now()
 		st, err := e.Run(engine.Options{ChunkSize: chunk})
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		sec := time.Since(start).Seconds()
 		fmt.Printf("%-10s %14d %14d %12.3f %10.1f\n",
@@ -243,9 +270,8 @@ func splitOrder(spec string) []string {
 	return parts
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gemm-tune:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("gemm-tune", err)
 }
 
 // runTable1 reproduces Table I: GEMM peak fraction, and the batched
@@ -261,7 +287,7 @@ func runTable1() {
 	cfg.Device = device.Scaled(dev, 4)
 	s, err := gemm.Space(cfg)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	prob := kernelsim.ProblemFor(cfg, 4096)
 	tuner, err := autotune.New(s, func(tuple []int64) float64 {
@@ -269,11 +295,11 @@ func runTable1() {
 		return kernelsim.EstimateGEMM(dev, k, prob).GFLOPS
 	})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	rep, err := tuner.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: 8})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	frac := rep.Best[0].Score / kernelsim.PeakGFLOPS(dev, prob)
 	fmt.Printf("%-52s %.0f%% of peak   (paper: 80%% of peak)\n", "GEMM [4]", 100*frac)
@@ -285,18 +311,18 @@ func runTable1() {
 			bc := batched.DefaultConfig(n)
 			bs, err := batched.Space(bc)
 			if err != nil {
-				fatal(err)
+				fail(err)
 			}
 			bt, err := autotune.New(bs, func(tuple []int64) float64 {
 				k, _ := batched.FromTuple(tuple)
 				return batched.Estimate(dev, k, bc)
 			})
 			if err != nil {
-				fatal(err)
+				fail(err)
 			}
 			brep, err := bt.Run(autotune.Options{Strategy: autotune.Exhaustive, TopK: 1, Workers: 8})
 			if err != nil {
-				fatal(err)
+				fail(err)
 			}
 			if len(brep.Best) == 0 {
 				continue

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/device"
 	"repro/internal/gemm"
@@ -54,14 +55,14 @@ func main() {
 
 	if *writeGS {
 		if err := writeGensweep(); err != nil {
-			fatal(err)
+			fail(err)
 		}
 		return
 	}
 
 	s, err := buildSpace(*specPath, *gemmName, *loopDepth, *loopTotal, *devName, *scale, *minThreads)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	prog, err := plan.Compile(s, plan.Options{
 		DisableCSE:       *noCSE,
@@ -70,7 +71,7 @@ func main() {
 		Order:            splitOrder(*orderSpec),
 	})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	var src string
 	switch *lang {
@@ -79,17 +80,17 @@ func main() {
 	case "go":
 		src, err = codegen.Go(prog, codegen.GoOptions{Package: *pkg, FuncName: *funcName, ChunkSize: *chunk})
 	default:
-		err = fmt.Errorf("unknown -lang %q (want c or go)", *lang)
+		err = cli.Usagef("unknown -lang %q (want c or go)", *lang)
 	}
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if *out == "" {
 		fmt.Print(src)
 		return
 	}
 	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
-		fatal(err)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
 }
@@ -103,7 +104,7 @@ func buildSpace(specPath, gemmName string, loopDepth int, loopTotal int64,
 		}
 	}
 	if modes != 1 {
-		return nil, fmt.Errorf("exactly one of -spec, -gemm, -loopbench is required")
+		return nil, cli.Usagef("exactly one of -spec, -gemm, -loopbench is required")
 	}
 	switch {
 	case specPath != "":
@@ -126,7 +127,7 @@ func buildSpace(specPath, gemmName string, loopDepth int, loopTotal int64,
 		return gemm.Space(cfg)
 	default:
 		if loopDepth > loopbench.MaxDepth {
-			return nil, fmt.Errorf("-loopbench depth %d exceeds %d", loopDepth, loopbench.MaxDepth)
+			return nil, cli.Usagef("-loopbench depth %d exceeds %d", loopDepth, loopbench.MaxDepth)
 		}
 		return loopbench.Space(loopDepth, loopTotal), nil
 	}
@@ -172,7 +173,6 @@ func writeGensweep() error {
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "spacegen:", err)
-	os.Exit(1)
+func fail(err error) {
+	cli.Fail("spacegen", err)
 }

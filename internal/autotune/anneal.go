@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -28,11 +29,17 @@ type AnnealOptions struct {
 // single-dimension domain steps repaired to feasibility, as in the hill
 // climber.
 func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
+	return t.RunAnnealContext(context.Background(), opts)
+}
+
+// RunAnnealContext is RunAnneal under a context: seeding enumeration and
+// the restart loop both observe cancellation.
+func (t *Tuner) RunAnnealContext(ctx context.Context, opts AnnealOptions) (*Report, error) {
 	if tt, err := t.forReorder(opts.Reorder); err != nil {
 		return nil, err
 	} else if tt != t {
 		opts.Reorder = ReorderPlanned
-		return tt.RunAnneal(opts)
+		return tt.RunAnnealContext(ctx, opts)
 	}
 	base := opts.Options
 	if base.TopK <= 0 {
@@ -54,7 +61,7 @@ func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
 	seedOpts := base
 	seedOpts.Samples = base.Restarts * 2
 	seedOpts.TopK = base.Restarts * 2
-	seeds, err := t.runRandomSample(seedOpts)
+	seeds, err := t.runRandomSample(ctx, seedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +85,9 @@ func (t *Tuner) RunAnneal(opts AnnealOptions) (*Report, error) {
 		return t.Objective(tuple)
 	}
 	for r := 0; r < base.Restarts && r < len(seeds.Best); r++ {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		cur := append([]int64(nil), seeds.Best[r].Tuple...)
 		curScore := score(cur)
 		best.offer(Result{Tuple: append([]int64(nil), cur...), Score: curScore}, base.TopK)

@@ -22,6 +22,8 @@ package autotune
 
 import (
 	"container/heap"
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -102,6 +105,19 @@ type Options struct {
 	Restarts, Steps int
 	// Reorder overrides the plan-time loop-order choice for this run.
 	Reorder ReorderMode
+
+	// CheckpointPath, if non-empty, persists enumeration progress (and the
+	// partial top-K) to this file so an interrupted run can be resumed;
+	// ResumePath restores from such a file (the two may name the same
+	// file). Only the Exhaustive strategy supports them. A gracefully
+	// cancelled run resumes exactly — identical survivor set, funnel
+	// counters, and rankings; after a hard kill the last tile in flight may
+	// be re-benchmarked on resume (at-least-once delivery).
+	CheckpointPath string
+	ResumePath     string
+	// CheckpointEvery is the snapshot cadence in completed tiles
+	// (default 1: snapshot after every tile).
+	CheckpointEvery int
 }
 
 // Result is one scored configuration.
@@ -167,11 +183,23 @@ func (t *Tuner) forReorder(mode ReorderMode) (*Tuner, error) {
 
 // Run executes the tuning strategy.
 func (t *Tuner) Run(opts Options) (*Report, error) {
+	return t.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run under a context: cancellation and deadlines stop the
+// underlying enumeration (and the objective-call loops of the statistical
+// strategies) promptly. A cancelled exhaustive run returns its partial
+// Report alongside the context's error, so the caller can report progress
+// — and, when checkpointing, resume later.
+func (t *Tuner) RunContext(ctx context.Context, opts Options) (*Report, error) {
 	if tt, err := t.forReorder(opts.Reorder); err != nil {
 		return nil, err
 	} else if tt != t {
 		opts.Reorder = ReorderPlanned
-		return tt.Run(opts)
+		return tt.RunContext(ctx, opts)
+	}
+	if (opts.CheckpointPath != "" || opts.ResumePath != "") && opts.Strategy != Exhaustive {
+		return nil, fmt.Errorf("autotune: checkpointing supports only the exhaustive strategy, not %s", opts.Strategy)
 	}
 	if opts.TopK <= 0 {
 		opts.TopK = 10
@@ -193,24 +221,23 @@ func (t *Tuner) Run(opts Options) (*Report, error) {
 	var err error
 	switch opts.Strategy {
 	case Exhaustive:
-		rep, err = t.runExhaustive(opts)
+		rep, err = t.runExhaustive(ctx, opts)
 	case RandomSample:
-		rep, err = t.runRandomSample(opts)
+		rep, err = t.runRandomSample(ctx, opts)
 	case HillClimb:
-		rep, err = t.runHillClimb(opts)
+		rep, err = t.runHillClimb(ctx, opts)
 	case Anneal:
-		rep, err = t.RunAnneal(AnnealOptions{Options: opts})
+		rep, err = t.RunAnnealContext(ctx, AnnealOptions{Options: opts})
 	default:
 		return nil, fmt.Errorf("autotune: unknown strategy %v", opts.Strategy)
 	}
-	if err != nil {
-		return nil, err
+	if rep != nil {
+		rep.Elapsed = time.Since(start)
+		rep.Strategy = opts.Strategy
+		rep.IterNames = t.Prog.TupleNames()
+		rep.Program = t.Prog
 	}
-	rep.Elapsed = time.Since(start)
-	rep.Strategy = opts.Strategy
-	rep.IterNames = t.Prog.TupleNames()
-	rep.Program = t.Prog
-	return rep, nil
+	return rep, err
 }
 
 // resultHeap is a min-heap of the best K results (smallest score at the
@@ -241,7 +268,15 @@ func (h resultHeap) sorted() []Result {
 	return out
 }
 
-func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
+// exhaustiveExtra is the tool-owned checkpoint payload of an exhaustive
+// run: the partial top-K and the objective-call count, so a resumed run
+// reports rankings identical to an uninterrupted one.
+type exhaustiveExtra struct {
+	Best      []Result `json:"best"`
+	Evaluated int64    `json:"evaluated"`
+}
+
+func (t *Tuner) runExhaustive(ctx context.Context, opts Options) (*Report, error) {
 	eng, err := engine.NewCompiled(t.Prog)
 	if err != nil {
 		return nil, err
@@ -251,7 +286,7 @@ func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
 		best  resultHeap
 		evals int64
 	)
-	st, err := eng.Run(engine.Options{
+	eopts := engine.Options{
 		Workers:    opts.Workers,
 		SplitDepth: opts.SplitDepth,
 		ChunkSize:  opts.ChunkSize,
@@ -265,14 +300,48 @@ func (t *Tuner) runExhaustive(opts Options) (*Report, error) {
 			mu.Unlock()
 			return true
 		},
-	})
-	if err != nil {
-		return nil, err
 	}
-	return &Report{Best: best.sorted(), Stats: st, Evaluated: evals, Survivors: st.Survivors}, nil
+	if opts.CheckpointPath != "" || opts.ResumePath != "" {
+		fp := checkpoint.Fingerprint(t.Prog, eng.Name(), eopts)
+		if opts.ResumePath != "" {
+			res, file, err := checkpoint.Resume(opts.ResumePath, fp)
+			if err != nil {
+				return nil, err
+			}
+			eopts.Resume = res
+			if len(file.Extra) > 0 {
+				var ex exhaustiveExtra
+				if err := json.Unmarshal(file.Extra, &ex); err != nil {
+					return nil, fmt.Errorf("autotune: checkpoint %s has a corrupt tuner payload: %w", opts.ResumePath, err)
+				}
+				evals = ex.Evaluated
+				for _, r := range ex.Best {
+					best.offer(r, opts.TopK)
+				}
+			}
+		}
+		if opts.CheckpointPath != "" {
+			// The snapshot callback runs outside tuple delivery, so taking
+			// mu here cannot deadlock against OnTuple above.
+			eopts.Checkpoint = checkpoint.NewWriter(opts.CheckpointPath, fp, opts.CheckpointEvery,
+				func() (json.RawMessage, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					return json.Marshal(exhaustiveExtra{Best: best.sorted(), Evaluated: evals})
+				})
+		}
+	}
+	st, err := eng.RunContext(ctx, eopts)
+	var rep *Report
+	if st != nil {
+		mu.Lock()
+		rep = &Report{Best: best.sorted(), Stats: st, Evaluated: evals, Survivors: st.Survivors}
+		mu.Unlock()
+	}
+	return rep, err
 }
 
-func (t *Tuner) runRandomSample(opts Options) (*Report, error) {
+func (t *Tuner) runRandomSample(ctx context.Context, opts Options) (*Report, error) {
 	eng, err := engine.NewCompiled(t.Prog)
 	if err != nil {
 		return nil, err
@@ -284,7 +353,7 @@ func (t *Tuner) runRandomSample(opts Options) (*Report, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	reservoir := make([][]int64, 0, opts.Samples)
 	var seen int64
-	st, err := eng.Run(engine.Options{
+	st, err := eng.RunContext(ctx, engine.Options{
 		ChunkSize: opts.ChunkSize,
 		OnTuple: func(tuple []int64) bool {
 			seen++
@@ -459,14 +528,14 @@ func absI64(a int64) int64 {
 	return a
 }
 
-func (t *Tuner) runHillClimb(opts Options) (*Report, error) {
+func (t *Tuner) runHillClimb(ctx context.Context, opts Options) (*Report, error) {
 	// Seed points: a uniform sample of survivors (reusing the reservoir
 	// machinery keeps seeding unbiased); if the space has few survivors
 	// this already visits most of it.
 	seedOpts := opts
 	seedOpts.Samples = opts.Restarts
 	seedOpts.TopK = opts.Restarts
-	seeds, err := t.runRandomSample(seedOpts)
+	seeds, err := t.runRandomSample(ctx, seedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -479,6 +548,9 @@ func (t *Tuner) runHillClimb(opts Options) (*Report, error) {
 		return t.Objective(tuple)
 	}
 	for _, seed := range seeds.Best {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		cur := append([]int64(nil), seed.Tuple...)
 		curScore := score(cur)
 		best.offer(Result{Tuple: append([]int64(nil), cur...), Score: curScore}, opts.TopK)

@@ -1,0 +1,101 @@
+package autotune
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExhaustiveCheckpointResume is the tuner-level resume contract: an
+// exhaustive run cancelled mid-sweep with -checkpoint semantics, resumed
+// from the file, must land on exactly the clean run's survivor count,
+// objective-call count, and top-K ranking — the Extra payload restores the
+// partial heap so no configuration is scored twice or lost.
+func TestExhaustiveCheckpointResume(t *testing.T) {
+	s, obj, want := quadSpace(t)
+	path := filepath.Join(t.TempDir(), "tune.ckpt")
+
+	cleanTuner, err := New(s, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := cleanTuner.Run(Options{Strategy: Exhaustive, TopK: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted leg: the objective cancels the context partway through
+	// and then drags its feet so the cancellation reliably wins the race
+	// against sweep completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int64
+	slowTuner, err := New(s, func(tuple []int64) float64 {
+		if n.Add(1) == 20 {
+			cancel()
+		}
+		time.Sleep(200 * time.Microsecond)
+		return obj(tuple)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = slowTuner.RunContext(ctx, Options{
+		Strategy: Exhaustive, TopK: 3, Workers: 2, CheckpointPath: path,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted leg: err = %v, want context.Canceled", err)
+	}
+
+	resumeTuner, err := New(s, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumeTuner.RunContext(context.Background(), Options{
+		Strategy: Exhaustive, TopK: 3, Workers: 4,
+		CheckpointPath: path, ResumePath: path,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rep.Survivors != clean.Survivors {
+		t.Fatalf("resumed survivors = %d, clean = %d", rep.Survivors, clean.Survivors)
+	}
+	if got := n.Load() + rep.Evaluated - clean.Evaluated; rep.Evaluated != clean.Evaluated {
+		t.Fatalf("resumed Evaluated = %d, clean = %d (overlap %d): configurations scored twice or lost",
+			rep.Evaluated, clean.Evaluated, got)
+	}
+	// Ties at the cutoff may pick different (equally good) tuples depending
+	// on arrival order, so compare the deterministic score vector.
+	scores := func(rs []Result) []float64 {
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Score
+		}
+		return out
+	}
+	if !reflect.DeepEqual(scores(rep.Best), scores(clean.Best)) {
+		t.Fatalf("resumed top-K scores diverge:\ngot  %+v\nwant %+v", rep.Best, clean.Best)
+	}
+	if !reflect.DeepEqual(rep.Best[0].Tuple, want) {
+		t.Fatalf("resumed winner %v, want %v", rep.Best[0].Tuple, want)
+	}
+}
+
+// TestCheckpointRequiresExhaustive: the sampling strategies re-draw their
+// own schedule per run, so checkpointing them would silently lie.
+func TestCheckpointRequiresExhaustive(t *testing.T) {
+	s, obj, _ := quadSpace(t)
+	tuner, err := New(s, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tuner.Run(Options{Strategy: RandomSample, Samples: 10, CheckpointPath: "x.ckpt"})
+	if err == nil {
+		t.Fatal("checkpointing a sampling strategy was accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package checkpoint persists enumeration progress so long sweeps survive
+// timeouts, cancellation, and host-callback faults. A checkpoint file is
+// one JSON document: a plan fingerprint (so a resume against a different
+// spec, split depth, chunk size, or protocol is rejected instead of
+// silently corrupting the survivor set), the completed-tile bitmap and
+// merged counters of an engine.Snapshot, and an optional tool-owned blob
+// for layered state (e.g. the autotuner's top-K heap). Files are written
+// atomically — marshal to a sibling temp file, fsync, rename — so a crash
+// mid-write leaves the previous snapshot intact.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/speclang"
+)
+
+// Version is the checkpoint file format version; bump on incompatible
+// layout changes.
+const Version = 1
+
+// File is the on-disk checkpoint document.
+type File struct {
+	// Version is the format version (see Version).
+	Version int `json:"version"`
+	// Fingerprint identifies the plan this snapshot belongs to; a resume
+	// must present an identical fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// SplitDepth, Tiles, Completed, Done, and Stats mirror engine.Snapshot.
+	SplitDepth int           `json:"split_depth"`
+	Tiles      int           `json:"tiles"`
+	Completed  int           `json:"completed"`
+	Done       []uint64      `json:"done"`
+	Stats      *engine.Stats `json:"stats"`
+	// Extra is an opaque blob owned by the tool layered above the engine
+	// (the autotuner stores its partial top-K here). Absent when unused.
+	Extra json.RawMessage `json:"extra,omitempty"`
+}
+
+// Fingerprint derives the plan identity a checkpoint is valid for: the
+// spec itself (canonical speclang text when expressible, the structural
+// summary for host-registered constructs), the compiled plan description
+// (which pins the optimizer's loop order, narrowing groups, hoisted steps,
+// and ablation flags), the backend, and the schedule-shaping options.
+// Workers is deliberately excluded: resuming with a different worker count
+// is legal and bit-identical, because the tile set is derived from the
+// stored split depth, not the pool size.
+func Fingerprint(prog *plan.Program, engineName string, opts engine.Options) string {
+	spec, err := speclang.Format(prog.Source)
+	if err != nil {
+		// Host constructs (deferred constraints, closure iterators) have no
+		// canonical text; the structural summary still pins names, domains,
+		// and constraint counts.
+		spec = prog.Source.Summary()
+	}
+	h := sha256.New()
+	h.Write([]byte(spec))
+	h.Write([]byte{0})
+	h.Write([]byte(prog.Describe()))
+	h.Write([]byte{0})
+	h.Write([]byte(engineName))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(opts.SplitDepth)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(opts.ChunkSize)))
+	h.Write([]byte{0})
+	h.Write([]byte(opts.Protocol.String()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Save writes f to path atomically: temp file in the same directory, sync,
+// rename over the target.
+func Save(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes a checkpoint file, checking only the format
+// version — fingerprint validation happens in Resume, where the caller's
+// plan is known.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s is not a checkpoint file: %w", path, err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads version %d", path, f.Version, Version)
+	}
+	return &f, nil
+}
+
+// Resume loads path and validates it against the given plan fingerprint,
+// returning the engine resume state plus the full file (for tool-owned
+// Extra state). A fingerprint mismatch — different spec, plan, backend,
+// split depth, chunk size, or protocol — is an error: resuming would
+// produce a corrupt survivor set.
+func Resume(path, fingerprint string) (*engine.ResumeState, *File, error) {
+	f, err := Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, nil, fmt.Errorf(
+			"checkpoint: %s was written for a different run (fingerprint %.12s…, this run is %.12s…): the spec, plan, engine, split depth, chunk size, or protocol changed; re-run without -resume",
+			path, f.Fingerprint, fingerprint)
+	}
+	if f.Stats == nil {
+		return nil, nil, fmt.Errorf("checkpoint: %s has no stats payload", path)
+	}
+	return &engine.ResumeState{
+		SplitDepth: f.SplitDepth,
+		Tiles:      f.Tiles,
+		Done:       f.Done,
+		TileStats:  f.Stats,
+	}, f, nil
+}
+
+// NewWriter returns a CheckpointConfig that persists every snapshot to
+// path with the given fingerprint and cadence. extra, if non-nil, is
+// invoked per snapshot to capture tool-owned state into the file's Extra
+// blob; its error aborts the run like a write failure.
+func NewWriter(path, fingerprint string, every int, extra func() (json.RawMessage, error)) *engine.CheckpointConfig {
+	return &engine.CheckpointConfig{
+		EveryTiles: every,
+		OnSnapshot: func(s *engine.Snapshot) error {
+			f := &File{
+				Version:     Version,
+				Fingerprint: fingerprint,
+				SplitDepth:  s.SplitDepth,
+				Tiles:       s.Tiles,
+				Completed:   s.Completed,
+				Done:        s.Done,
+				Stats:       s.TileStats,
+			}
+			if extra != nil {
+				blob, err := extra()
+				if err != nil {
+					return err
+				}
+				f.Extra = blob
+			}
+			return Save(path, f)
+		},
+	}
+}

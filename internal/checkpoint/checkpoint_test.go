@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+func testProg(t *testing.T) *plan.Program {
+	t.Helper()
+	s := space.New()
+	s.Range("i", expr.IntLit(0), expr.IntLit(9))
+	s.Range("j", expr.IntLit(0), expr.IntLit(9))
+	s.Constrain("diag", space.Hard, expr.Gt(expr.NewRef("i"), expr.NewRef("j")))
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	f := &File{
+		Version:     Version,
+		Fingerprint: "cafe",
+		SplitDepth:  2,
+		Tiles:       70,
+		Completed:   3,
+		Done:        []uint64{0b1011, 0},
+		Stats:       &engine.Stats{Survivors: 42, LoopVisits: []int64{10, 20}},
+	}
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip changed the file:\ngot  %+v\nwant %+v", got, f)
+	}
+	// The atomic writer must not leave temp litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir has %d entries, want just the file", len(entries))
+	}
+	// Overwriting is the steady-state operation (every snapshot).
+	f.Completed = 4
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != 4 {
+		t.Fatalf("second save not visible: completed=%d", got.Completed)
+	}
+}
+
+func TestLoadRejectsGarbageAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "not a checkpoint file") {
+		t.Fatalf("garbage load: err = %v", err)
+	}
+	old := filepath.Join(dir, "old.ckpt")
+	if err := Save(old, &File{Version: Version + 1, Fingerprint: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(old); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch: err = %v", err)
+	}
+}
+
+func TestResumeRejectsFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	f := &File{Version: Version, Fingerprint: "aaaa", Stats: &engine.Stats{}}
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path, "bbbb"); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("fingerprint mismatch: err = %v", err)
+	}
+	res, file, err := Resume(path, "aaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || file == nil {
+		t.Fatal("matching resume returned nil state")
+	}
+}
+
+// TestFingerprintPinsPlanNotWorkers: anything that changes the enumerated
+// schedule (spec, chunk size, backend, protocol, split depth) must change
+// the fingerprint; the worker count must not, since resuming on different
+// hardware is the whole point of a checkpoint.
+func TestFingerprintPinsPlanNotWorkers(t *testing.T) {
+	prog := testProg(t)
+	base := Fingerprint(prog, "compiled", engine.Options{ChunkSize: 64})
+	if got := Fingerprint(prog, "compiled", engine.Options{ChunkSize: 64, Workers: 16}); got != base {
+		t.Fatal("worker count changed the fingerprint")
+	}
+	if got := Fingerprint(prog, "compiled", engine.Options{ChunkSize: 1}); got == base {
+		t.Fatal("chunk size did not change the fingerprint")
+	}
+	if got := Fingerprint(prog, "interp", engine.Options{ChunkSize: 64}); got == base {
+		t.Fatal("backend did not change the fingerprint")
+	}
+	if got := Fingerprint(prog, "compiled", engine.Options{ChunkSize: 64, SplitDepth: 3}); got == base {
+		t.Fatal("split depth did not change the fingerprint")
+	}
+	if got := Fingerprint(prog, "compiled", engine.Options{ChunkSize: 64, Protocol: engine.ProtoWhile}); got == base {
+		t.Fatal("protocol did not change the fingerprint")
+	}
+
+	s2 := space.New()
+	s2.Range("i", expr.IntLit(0), expr.IntLit(9))
+	s2.Range("j", expr.IntLit(0), expr.IntLit(8)) // one bound differs
+	s2.Constrain("diag", space.Hard, expr.Gt(expr.NewRef("i"), expr.NewRef("j")))
+	prog2, err := plan.Compile(s2, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(prog2, "compiled", engine.Options{ChunkSize: 64}); got == base {
+		t.Fatal("spec change did not change the fingerprint")
+	}
+}

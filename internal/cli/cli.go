@@ -1,0 +1,55 @@
+// Package cli holds the shared error-path contract of the cmd/ tools.
+// Every tool routes failures through one of two helpers so the exit-code
+// contract is uniform: 0 on success, 1 for runtime failures (plan or
+// enumeration errors, cancelled sweeps, objective faults), 2 for usage
+// errors (bad flags, unknown engines/strategies, conflicting options).
+// Both helpers flush stdout before exiting, so partial reports already
+// printed are never lost to a buffered pipe.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Exit codes of the cmd/ tools.
+const (
+	ExitOK      = 0
+	ExitFailure = 1
+	ExitUsage   = 2
+)
+
+// usageError marks an error as a usage mistake so Fail exits 2 even when
+// the classification happened far from the call site (e.g. inside a flag
+// loader shared by several code paths).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// Usagef builds a usage-classified error: Fail recognizes it and exits 2.
+func Usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// Fail reports an error on stderr, flushes stdout, and exits — 2 for
+// usage-classified errors (see Usagef, Usage), 1 for everything else.
+func Fail(tool string, err error) {
+	var u usageError
+	if errors.As(err, &u) {
+		exit(tool, err, ExitUsage)
+	}
+	exit(tool, err, ExitFailure)
+}
+
+// Usage reports a usage error on stderr, flushes stdout, and exits 2.
+func Usage(tool string, err error) {
+	exit(tool, err, ExitUsage)
+}
+
+func exit(tool string, err error, code int) {
+	os.Stdout.Sync()
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(code)
+}

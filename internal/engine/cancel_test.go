@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/space"
+)
+
+// sortTuples orders a tuple set lexicographically so delivery order (which
+// is nondeterministic under workers > 1) drops out of comparisons.
+func sortTuples(ts [][]int64) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// TestRunContextCancelMidRun drives every backend at workers 1 and 8 under
+// a context that expires mid-enumeration: the run must stop early, return
+// the context's error, and mark the partial Stats as Cancelled rather than
+// Stopped.
+func TestRunContextCancelMidRun(t *testing.T) {
+	prog := parallelTestSpace(t)
+	for _, e := range allBackends(t, prog) {
+		clean, err := e.Run(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			label := fmt.Sprintf("%s workers=%d", e.Name(), workers)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			// Each survivor costs ~2ms, so the full sweep (>=20 survivors)
+			// cannot finish inside the deadline no matter the scheduling.
+			st, err := e.RunContext(ctx, Options{
+				Workers: workers,
+				OnTuple: func([]int64) bool { time.Sleep(2 * time.Millisecond); return true },
+			})
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%s: err = %v, want context.DeadlineExceeded", label, err)
+			}
+			if st == nil || !st.Cancelled {
+				t.Fatalf("%s: cancelled run returned st=%+v, want partial stats with Cancelled", label, st)
+			}
+			if st.Stopped {
+				t.Fatalf("%s: cancelled run also marked Stopped", label)
+			}
+			if st.TotalVisits() >= clean.TotalVisits() {
+				t.Fatalf("%s: cancelled run visited %d of %d — no early exit",
+					label, st.TotalVisits(), clean.TotalVisits())
+			}
+		}
+	}
+}
+
+// TestRunContextExplicitCancel covers caller-side cancellation (as opposed
+// to a deadline): cancel() fired from inside OnTuple surfaces as
+// context.Canceled.
+func TestRunContextExplicitCancel(t *testing.T) {
+	prog := parallelTestSpace(t)
+	for _, e := range allBackends(t, prog) {
+		for _, workers := range []int{1, 8} {
+			label := fmt.Sprintf("%s workers=%d", e.Name(), workers)
+			ctx, cancel := context.WithCancel(context.Background())
+			var n atomic.Int64
+			st, err := e.RunContext(ctx, Options{
+				Workers: workers,
+				OnTuple: func([]int64) bool {
+					if n.Add(1) == 3 {
+						cancel()
+					}
+					// Give the cancellation a moment to propagate so the
+					// sweep reliably ends early instead of racing to finish.
+					time.Sleep(time.Millisecond)
+					return true
+				},
+			})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: err = %v, want context.Canceled", label, err)
+			}
+			if st == nil || !st.Cancelled {
+				t.Fatalf("%s: cancelled run did not set Stats.Cancelled", label)
+			}
+		}
+	}
+}
+
+// TestRunContextPreCancelled: a context that is already dead yields no
+// enumeration work at all.
+func TestRunContextPreCancelled(t *testing.T) {
+	prog := parallelTestSpace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range allBackends(t, prog) {
+		called := false
+		st, err := e.RunContext(ctx, Options{Workers: 4, OnTuple: func([]int64) bool {
+			called = true
+			return true
+		}})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", e.Name(), err)
+		}
+		if st != nil || called {
+			t.Fatalf("%s: pre-cancelled context still enumerated (st=%v called=%v)", e.Name(), st, called)
+		}
+	}
+}
+
+// TestWorkerPanicIsolated is the callback-panic regression: a panic thrown
+// by Options.OnTuple inside a tile worker must not crash the process — the
+// pool aborts and the run returns a *PanicError carrying the value.
+func TestWorkerPanicIsolated(t *testing.T) {
+	prog := parallelTestSpace(t)
+	for _, e := range allBackends(t, prog) {
+		for _, workers := range []int{1, 8} {
+			label := fmt.Sprintf("%s workers=%d", e.Name(), workers)
+			var n atomic.Int64
+			st, err := e.Run(Options{Workers: workers, OnTuple: func([]int64) bool {
+				if n.Add(1) == 2 {
+					panic("objective exploded")
+				}
+				return true
+			}})
+			if st != nil {
+				t.Fatalf("%s: panicking run returned stats", label)
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s: err = %v (%T), want *PanicError", label, err, err)
+			}
+			if pe.Val != "objective exploded" {
+				t.Fatalf("%s: panic value %v, want the original", label, pe.Val)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatalf("%s: PanicError lost the stack trace", label)
+			}
+		}
+	}
+}
+
+// TestHostConstraintPanicIsolated is the same regression one layer deeper:
+// the panic originates in a host-registered deferred constraint evaluated
+// inside the nest, not in the tuple callback.
+func TestHostConstraintPanicIsolated(t *testing.T) {
+	s := space.New()
+	s.Range("a", expr.IntLit(0), expr.IntLit(7))
+	s.Range("b", expr.IntLit(0), expr.IntLit(7))
+	s.DeferredConstraint("host", space.Soft, []string{"a", "b"},
+		func(args []expr.Value) bool {
+			if args[0].I == 5 && args[1].I == 5 {
+				panic("host constraint fault")
+			}
+			return args[0].I+args[1].I < 12
+		})
+	prog, err := plan.Compile(s, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range allBackends(t, prog) {
+		for _, workers := range []int{1, 8} {
+			label := fmt.Sprintf("%s workers=%d", e.Name(), workers)
+			st, err := e.Run(Options{Workers: workers})
+			if st != nil {
+				t.Fatalf("%s: panicking run returned stats", label)
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s: err = %v (%T), want *PanicError", label, err, err)
+			}
+			if pe.Val != "host constraint fault" {
+				t.Fatalf("%s: panic value %v, want the original", label, pe.Val)
+			}
+		}
+	}
+}
+
+// snapshotCopy deep-copies a driver-owned Snapshot so it stays valid after
+// OnSnapshot returns, exactly as a file-backed checkpoint would.
+func snapshotCopy(s *Snapshot) *Snapshot {
+	return &Snapshot{
+		SplitDepth: s.SplitDepth,
+		Tiles:      s.Tiles,
+		Completed:  s.Completed,
+		Done:       append([]uint64(nil), s.Done...),
+		TileStats:  s.TileStats.Clone(),
+	}
+}
+
+// TestCheckpointResumeRoundTrip is the determinism contract end to end:
+// cancel a checkpointed sweep after k tiles (k fuzzed), resume from the
+// last snapshot, and require the union of delivered tuples and the final
+// counters to be bit-identical to an uninterrupted run — per backend, with
+// workers > 1, and with the resume running under a different worker count
+// than the interrupted leg.
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	prog := parallelTestSpace(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, e := range allBackends(t, prog) {
+		clean, cleanStats, err := CollectTuples(e, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortTuples(clean)
+		probe, err := e.Run(Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.Tiles < 4 {
+			t.Fatalf("%s: test schedule has only %d tiles", e.Name(), probe.Tiles)
+		}
+		for _, workers := range []int{2, 4} {
+			for trial := 0; trial < 3; trial++ {
+				k := 1 + rng.Intn(probe.Tiles-1)
+				label := fmt.Sprintf("%s workers=%d k=%d", e.Name(), workers, k)
+
+				var mu sync.Mutex
+				var last *Snapshot
+				var delivered [][]int64
+				collect := func(tu []int64) bool {
+					mu.Lock()
+					delivered = append(delivered, append([]int64(nil), tu...))
+					mu.Unlock()
+					return true
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				_, err1 := e.RunContext(ctx, Options{
+					Workers: workers,
+					OnTuple: collect,
+					Checkpoint: &CheckpointConfig{EveryTiles: 1, OnSnapshot: func(s *Snapshot) error {
+						mu.Lock()
+						last = snapshotCopy(s)
+						mu.Unlock()
+						if s.Completed >= k {
+							cancel()
+						}
+						return nil
+					}},
+				})
+				cancel()
+				if err1 != nil && !errors.Is(err1, context.Canceled) {
+					t.Fatalf("%s: interrupted leg failed: %v", label, err1)
+				}
+				if last == nil {
+					t.Fatalf("%s: no snapshot was taken", label)
+				}
+				if got := len(delivered); got > 0 && last.Completed == 0 {
+					t.Fatalf("%s: %d tuples delivered with zero tiles committed", label, got)
+				}
+
+				// Resume under a different worker count: the tile set comes
+				// from the snapshot's split depth, so this must not matter.
+				res := &ResumeState{
+					SplitDepth: last.SplitDepth,
+					Tiles:      last.Tiles,
+					Done:       last.Done,
+					TileStats:  last.TileStats,
+				}
+				st2, err2 := e.RunContext(context.Background(), Options{
+					Workers: workers + 3,
+					OnTuple: collect,
+					Resume:  res,
+				})
+				if err2 != nil {
+					t.Fatalf("%s: resume failed: %v", label, err2)
+				}
+				if st2.Cancelled || st2.Stopped {
+					t.Fatalf("%s: resumed run flags cancelled=%v stopped=%v", label, st2.Cancelled, st2.Stopped)
+				}
+				sortTuples(delivered)
+				if !reflect.DeepEqual(delivered, clean) {
+					t.Fatalf("%s: interrupted+resumed delivered %d tuples, clean run %d — survivor sets differ",
+						label, len(delivered), len(clean))
+				}
+				requireStatsEqual(t, label, st2, cleanStats)
+				if !reflect.DeepEqual(st2.TempEvals, cleanStats.TempEvals) ||
+					!reflect.DeepEqual(st2.TempHits, cleanStats.TempHits) {
+					t.Fatalf("%s: resumed temp counters diverge: %v/%v want %v/%v",
+						label, st2.TempEvals, st2.TempHits, cleanStats.TempEvals, cleanStats.TempHits)
+				}
+			}
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedPlan: a resume state whose tile geometry does
+// not match the regenerated schedule must be refused, not silently merged.
+func TestResumeRejectsMismatchedPlan(t *testing.T) {
+	prog := parallelTestSpace(t)
+	e := allBackends(t, prog)[0]
+	probe, err := e.Run(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &ResumeState{
+		SplitDepth: probe.SplitDepth,
+		Tiles:      probe.Tiles + 1, // wrong schedule
+		Done:       make([]uint64, (probe.Tiles+1+63)/64),
+		TileStats:  probe.Clone(),
+	}
+	if _, err := e.RunContext(context.Background(), Options{Workers: 2, Resume: res}); err == nil {
+		t.Fatal("resume against a mismatched tile schedule succeeded")
+	}
+}
+
+// TestChunkedEarlyStopExact is the partial-chunk overcount regression: a
+// run stopped by Options.Limit (or an OnTuple veto) mid-chunk must report
+// exactly the counters of scalar stepping stopped at the same tuple — the
+// lanes past the stop point are rewound, not charged.
+func TestChunkedEarlyStopExact(t *testing.T) {
+	prog := parallelTestSpace(t)
+	backends := allBackends(t, prog)
+	ref := backends[0]
+	for _, limit := range []int64{1, 2, 5, 9, 14} {
+		want, err := ref.Run(Options{Limit: limit, ChunkSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Stopped {
+			t.Fatalf("limit=%d: scalar reference did not stop", limit)
+		}
+		for _, e := range backends {
+			for _, chunk := range []int{8, 64} {
+				label := fmt.Sprintf("%s limit=%d chunk=%d", e.Name(), limit, chunk)
+				st, err := e.Run(Options{Limit: limit, ChunkSize: chunk})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.Stopped {
+					t.Fatalf("%s: limited run not Stopped", label)
+				}
+				requireStatsEqual(t, label, st, want)
+				if !reflect.DeepEqual(st.TempEvals, want.TempEvals) ||
+					!reflect.DeepEqual(st.TempHits, want.TempHits) {
+					t.Fatalf("%s: early-stop temp counters diverge: %v/%v want %v/%v",
+						label, st.TempEvals, st.TempHits, want.TempEvals, want.TempHits)
+				}
+			}
+		}
+	}
+	// The OnTuple-veto path stops through the same machinery as Limit but
+	// exercises the callback branch of the chunk emitters.
+	for _, e := range backends {
+		stopAt := int64(7)
+		var nScalar int64
+		want, err := e.Run(Options{ChunkSize: 1, OnTuple: func([]int64) bool {
+			nScalar++
+			return nScalar < stopAt
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		st, err := e.Run(Options{ChunkSize: 64, OnTuple: func([]int64) bool {
+			n++
+			return n < stopAt
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireStatsEqual(t, e.Name()+" veto stop", st, want)
+	}
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CheckpointConfig enables tile-granular progress snapshots during an
+// enumeration run. The driver forces the prefix-tile schedule (even at
+// Workers <= 1), commits each tile's counter delta as the tile finishes,
+// and hands a consistent Snapshot to OnSnapshot every EveryTiles commits
+// plus once when the run ends — completed, cancelled, or aborted by a
+// worker error — so the last snapshot always covers exactly the committed
+// tiles.
+//
+// In checkpoint mode Options.OnTuple delivery is transactional: a tile's
+// surviving tuples are buffered while the tile runs and delivered only
+// when it commits, so the set of delivered tuples is exactly the union of
+// committed tiles — an interrupted run plus its resume delivers each
+// survivor exactly once.
+type CheckpointConfig struct {
+	// EveryTiles is the snapshot cadence in committed tiles; <= 0 means 1
+	// (snapshot after every tile).
+	EveryTiles int
+	// OnSnapshot receives each snapshot. The snapshot and its slices are
+	// owned by the driver and valid only for the duration of the call —
+	// persist (or copy) before returning. A returned error aborts the run.
+	OnSnapshot func(s *Snapshot) error
+}
+
+// Snapshot is one consistent checkpoint of a running enumeration: which
+// tiles have committed and the merged counters of exactly those tiles.
+// Tiling-phase counters (prelude and prefix-level visits/checks) are NOT
+// included — they are recomputed deterministically when the run is
+// resumed, so folding them in here would double-count.
+type Snapshot struct {
+	// SplitDepth is the realized tiling depth: tiles are value prefixes of
+	// the first SplitDepth loops. A resume must force this depth so the
+	// tile set (all surviving depth-K prefixes, path-independent) matches.
+	SplitDepth int
+	// Tiles is the total tile count of the schedule.
+	Tiles int
+	// Completed is the number of committed tiles (popcount of Done).
+	Completed int
+	// Done is the committed-tile bitmap, bit i = tile i, 64 tiles a word.
+	Done []uint64
+	// TileStats holds the merged counters of the committed tiles only.
+	TileStats *Stats
+}
+
+// ResumeState restores a run from a Snapshot (typically loaded from a
+// checkpoint file whose plan fingerprint already matched). The driver
+// re-runs the tiling phase — deterministic, so its counters are identical
+// — then enumerates only the tiles not marked done, pre-merging TileStats
+// into the result.
+type ResumeState struct {
+	// SplitDepth is the snapshot's realized tiling depth, forced onto the
+	// resumed run regardless of Options.SplitDepth or worker count.
+	SplitDepth int
+	// Tiles is the snapshot's tile count, cross-checked against the
+	// regenerated tile set.
+	Tiles int
+	// Done is the committed-tile bitmap from the snapshot.
+	Done []uint64
+	// TileStats are the committed tiles' merged counters from the snapshot.
+	TileStats *Stats
+}
+
+// validate cross-checks the resume state against the regenerated tile set
+// and the program shape; a mismatch means the checkpoint belongs to a
+// different plan.
+func (r *ResumeState) validate(tiles *tileSet, st *Stats) error {
+	if tiles.n != r.Tiles || (tiles.n > 0 && tiles.depth != r.SplitDepth) {
+		return fmt.Errorf("engine: checkpoint does not match this plan: snapshot has %d tiles at split depth %d, regenerated schedule has %d at depth %d",
+			r.Tiles, r.SplitDepth, tiles.n, tiles.depth)
+	}
+	if len(r.Done) != (tiles.n+63)/64 {
+		return fmt.Errorf("engine: checkpoint bitmap has %d words, want %d", len(r.Done), (tiles.n+63)/64)
+	}
+	ts := r.TileStats
+	if ts == nil ||
+		len(ts.LoopVisits) != len(st.LoopVisits) ||
+		len(ts.Checks) != len(st.Checks) ||
+		len(ts.Kills) != len(st.Kills) ||
+		len(ts.TempEvals) != len(st.TempEvals) ||
+		len(ts.TempHits) != len(st.TempHits) ||
+		len(ts.BoundsNarrowed) != len(st.BoundsNarrowed) ||
+		len(ts.IterationsSkipped) != len(st.IterationsSkipped) {
+		return fmt.Errorf("engine: checkpoint counters do not match the program shape")
+	}
+	return nil
+}
+
+// CompletedTiles returns the popcount of the done bitmap: how many tiles
+// the snapshot already covers.
+func (r *ResumeState) CompletedTiles() int {
+	n := 0
+	for _, w := range r.Done {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,6 +1,10 @@
 package engine
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/plan"
+)
 
 // maxChunk bounds Options.ChunkSize; larger requests are clamped. The
 // generators cap at 64 (one mask word); the engines allow wider blocks
@@ -67,4 +71,126 @@ func (m laneMask) forEach(f func(lane int) bool) bool {
 		}
 	}
 	return true
+}
+
+// Chunk counter events, in the order an evaluator snapshots them. One
+// chunkEvent describes one counter-mutating action of the innermost steps,
+// so an early stop can rewind exactly what was over-counted.
+const (
+	evTempHits uint8 = iota // TempHits[level] += tempRefs * live
+	evTempEval              // TempEvals[level] += live
+	evCheck                 // Checks[statsID] += live; Kills/LanesMasked += killed
+)
+
+type chunkEvent struct {
+	kind     uint8
+	statsID  int
+	level    int
+	tempRefs int64
+}
+
+// chunkEvents precomputes the counter events of one level's steps, in the
+// order the chunk evaluators execute (and snapshot) them.
+func chunkEvents(steps []plan.Step) []chunkEvent {
+	var evs []chunkEvent
+	for i := range steps {
+		st := &steps[i]
+		if st.TempRefs > 0 {
+			evs = append(evs, chunkEvent{kind: evTempHits, level: st.Depth + 1, tempRefs: int64(st.TempRefs)})
+		}
+		if st.Kind == plan.AssignStep {
+			if st.Temp {
+				evs = append(evs, chunkEvent{kind: evTempEval, level: st.Depth + 1})
+			}
+			continue
+		}
+		evs = append(evs, chunkEvent{kind: evCheck, statsID: st.StatsID})
+	}
+	return evs
+}
+
+// chunkTrace records the survivor mask before each counter event of the
+// chunk in flight (plus one final snapshot before survivor emission), so an
+// early stop can rewind the counters of lanes past the stop point. Storage
+// is one flat buffer reused across chunks.
+type chunkTrace struct {
+	words int
+	buf   []uint64
+	n     int
+}
+
+func newChunkTrace(lanes, events int) *chunkTrace {
+	w := (lanes + 63) / 64
+	return &chunkTrace{words: w, buf: make([]uint64, 0, w*(events+1))}
+}
+
+func (t *chunkTrace) reset() { t.buf = t.buf[:0]; t.n = 0 }
+
+func (t *chunkTrace) snap(m laneMask) {
+	t.buf = append(t.buf, m...)
+	t.n++
+}
+
+func (t *chunkTrace) at(i int) []uint64 { return t.buf[i*t.words : (i+1)*t.words] }
+
+// liveAbove counts live lanes strictly above lane in mask words w.
+func liveAbove(w []uint64, lane int) int64 {
+	start := lane + 1
+	first := start >> 6
+	var n int
+	for i := first; i < len(w); i++ {
+		word := w[i]
+		if i == first {
+			word &= ^uint64(0) << uint(start&63)
+		}
+		n += bits.OnesCount64(word)
+	}
+	return int64(n)
+}
+
+// killedAbove counts lanes strictly above lane that are live in before but
+// dead in after.
+func killedAbove(before, after []uint64, lane int) int64 {
+	start := lane + 1
+	first := start >> 6
+	var n int
+	for i := first; i < len(before); i++ {
+		word := before[i] &^ after[i]
+		if i == first {
+			word &= ^uint64(0) << uint(start&63)
+		}
+		n += bits.OnesCount64(word)
+	}
+	return int64(n)
+}
+
+// rewindChunk subtracts from st the chunk-counter contributions of lanes
+// strictly past stopLane: the iterations a scalar run stopping at the same
+// survivor would never have reached. k is the chunk fill; the trace holds
+// one mask snapshot per event plus a final one taken before emission, so a
+// check event's kills are the mask bits its snapshot has and the next one
+// lacks. After the rewind, Stats on a Stopped chunked run are bit-identical
+// to the scalar run stopping at the same tuple (modulo the documented
+// schedule-dependent ChunksEvaluated/LanesMasked pair).
+func rewindChunk(st *Stats, d, k, stopLane int, events []chunkEvent, tr *chunkTrace) {
+	st.LoopVisits[d] -= int64(k - stopLane - 1)
+	for i, ev := range events {
+		before := tr.at(i)
+		switch ev.kind {
+		case evTempHits:
+			st.TempHits[ev.level] -= ev.tempRefs * liveAbove(before, stopLane)
+		case evTempEval:
+			st.TempEvals[ev.level] -= liveAbove(before, stopLane)
+		case evCheck:
+			if ev.statsID >= 0 {
+				st.Checks[ev.statsID] -= liveAbove(before, stopLane)
+			}
+			if killed := killedAbove(before, tr.at(i+1), stopLane); killed > 0 {
+				if ev.statsID >= 0 {
+					st.Kills[ev.statsID] -= killed
+				}
+				st.LanesMasked -= killed
+			}
+		}
+	}
 }

@@ -48,6 +48,8 @@ type compiledChunk struct {
 	n         int     // fill cursor
 	mask      laneMask
 	steps     []chunkStep
+	events    []chunkEvent
+	trace     *chunkTrace
 	ctx       vecCtx
 }
 
@@ -91,6 +93,8 @@ func (c *Compiled) newChunk(size int) (*compiledChunk, error) {
 		}
 		ch.steps = append(ch.steps, cs)
 	}
+	ch.events = chunkEvents(inner.Steps)
+	ch.trace = newChunkTrace(size, len(ch.events))
 	ch.ctx.lane = ch.lane
 	return ch, nil
 }
@@ -124,22 +128,26 @@ func (s *compiledState) flushChunk(d int) bool {
 	s.stats.LoopVisits[d] += int64(k)
 	s.stats.ChunksEvaluated++
 	ch.mask.setFirst(k)
+	ch.trace.reset()
 	live := int64(k)
 	ch.ctx.k = k
 	ch.ctx.reg = s.reg
 	for i := range ch.steps {
 		st := &ch.steps[i]
 		if st.tempRefs > 0 {
+			ch.trace.snap(ch.mask)
 			s.stats.TempHits[st.level] += st.tempRefs * live
 		}
 		if !st.check {
 			res := st.vec(&ch.ctx)
 			copy(ch.lane[st.laneIdx][:k], res)
 			if st.temp {
+				ch.trace.snap(ch.mask)
 				s.stats.TempEvals[st.level] += live
 			}
 			continue
 		}
+		ch.trace.snap(ch.mask)
 		s.stats.Checks[st.statsID] += live
 		var kills int64
 		if st.deferredFn != nil {
@@ -172,12 +180,26 @@ func (s *compiledState) flushChunk(d int) bool {
 			}
 		}
 	}
-	return ch.mask.forEach(func(lane int) bool {
+	ch.trace.snap(ch.mask)
+	stop := -1
+	ch.mask.forEach(func(lane int) bool {
 		for li, arr := range ch.lane {
 			s.reg[ch.laneSlots[li]] = arr[lane]
 		}
-		return s.survivor()
+		if s.survivor() {
+			return true
+		}
+		stop = lane
+		return false
 	})
+	if stop < 0 {
+		return true
+	}
+	// Early stop inside the chunk: rewind the counters of the lanes past
+	// the stop point, so the Stopped run's Stats match a scalar run
+	// stopping at the same survivor.
+	rewindChunk(s.stats, d, k, stop, ch.events, ch.trace)
+	return false
 }
 
 // loopChunk drives the innermost loop in blocks: values stream from the

@@ -22,6 +22,8 @@ type interpChunk struct {
 	vals      []int64 // == lane[0], the chunk fill buffer
 	n         int     // fill cursor
 	mask      laneMask
+	events    []chunkEvent
+	trace     *chunkTrace
 	arena     [][]int64
 	cursor    int
 	// refNames lists the non-resident names the innermost expressions
@@ -49,6 +51,8 @@ func (in *Interp) newChunk(size int) *interpChunk {
 		ch.lane = append(ch.lane, make([]int64, size))
 	}
 	ch.vals = ch.lane[0]
+	ch.events = chunkEvents(in.prog.Loops[v.Depth].Steps)
+	ch.trace = newChunkTrace(size, len(ch.events))
 	seen := make(map[string]bool)
 	for i := range in.prog.Loops[v.Depth].Steps {
 		st := &in.prog.Loops[v.Depth].Steps[i]
@@ -303,11 +307,13 @@ func (s *interpState) flushChunk(d int) bool {
 	s.stats.LoopVisits[d] += int64(k)
 	s.stats.ChunksEvaluated++
 	ch.mask.setFirst(k)
+	ch.trace.reset()
 	live := int64(k)
 	steps := s.in.prog.Loops[d].Steps
 	for i := range steps {
 		st := &steps[i]
 		if st.TempRefs > 0 {
+			ch.trace.snap(ch.mask)
 			s.stats.TempHits[st.Depth+1] += int64(st.TempRefs) * live
 		}
 		if st.Kind == plan.AssignStep {
@@ -315,10 +321,12 @@ func (s *interpState) flushChunk(d int) bool {
 			res := s.evalVec(st.Expr, k)
 			copy(ch.lane[ch.laneOf[st.Name]][:k], res)
 			if st.Temp {
+				ch.trace.snap(ch.mask)
 				s.stats.TempEvals[st.Depth+1] += live
 			}
 			continue
 		}
+		ch.trace.snap(ch.mask)
 		s.stats.Checks[st.StatsID] += live
 		var kills int64
 		if st.Constraint.Deferred() {
@@ -351,10 +359,24 @@ func (s *interpState) flushChunk(d int) bool {
 			}
 		}
 	}
-	return ch.mask.forEach(func(lane int) bool {
+	ch.trace.snap(ch.mask)
+	stop := -1
+	ch.mask.forEach(func(lane int) bool {
 		s.writebackLanes(lane)
-		return s.survivor()
+		if s.survivor() {
+			return true
+		}
+		stop = lane
+		return false
 	})
+	if stop < 0 {
+		return true
+	}
+	// Early stop inside the chunk: rewind the counters of the lanes past
+	// the stop point, so the Stopped run's Stats match a scalar run
+	// stopping at the same survivor.
+	rewindChunk(s.stats, d, k, stop, ch.events, ch.trace)
+	return false
 }
 
 // loopChunk drives the innermost loop in blocks. The loop protocol is

@@ -58,17 +58,19 @@ type vmChunkCode struct {
 	depth     int32
 	ins       []vins
 	laneSlots []int32
+	events    []chunkEvent
 }
 
 // vmChunkState is the per-executor chunk scratch: lane arrays, the fill
 // buffer (aliasing lane 0), the survivor mask, and the vector stack of
 // owned, reused buffers.
 type vmChunkState struct {
-	lane [][]int64
-	vals []int64
-	n    int
-	mask laneMask
-	vstk [][]int64
+	lane  [][]int64
+	vals  []int64
+	n     int
+	mask  laneMask
+	trace *chunkTrace
+	vstk  [][]int64
 }
 
 func newVMChunkState(cc *vmChunkCode) *vmChunkState {
@@ -80,6 +82,7 @@ func newVMChunkState(cc *vmChunkCode) *vmChunkState {
 		cs.lane[i] = make([]int64, cc.size)
 	}
 	cs.vals = cs.lane[0]
+	cs.trace = newChunkTrace(cc.size, len(cc.events))
 	return cs
 }
 
@@ -112,6 +115,10 @@ func (a *vmAssembler) buildChunk(size int) {
 		a.emitVecExpr(cc, st.Expr)
 		vemit(vins{op: vCheck, a: int32(st.StatsID)})
 	}
+	// The counting vops above appear in exactly chunkEvents order (temp
+	// hits before the step, temp evals after the store, one check per
+	// constraint), so the rewind trace can align snapshots to events 1:1.
+	cc.events = chunkEvents(prog.Loops[v.Depth].Steps)
 	a.code.chunk = cc
 }
 
@@ -242,6 +249,7 @@ func (x *vmExec) runChunk() bool {
 	stats.LoopVisits[d] += int64(k)
 	stats.ChunksEvaluated++
 	cs.mask.setFirst(k)
+	cs.trace.reset()
 	live := int64(k)
 	vsp := 0
 	push := func() []int64 {
@@ -424,6 +432,7 @@ func (x *vmExec) runChunk() bool {
 		case vCheck:
 			vsp--
 			res := cs.vstk[vsp][:k]
+			cs.trace.snap(cs.mask)
 			stats.Checks[in.a] += live
 			var kills int64
 			cs.mask.forEach(func(lane int) bool {
@@ -444,6 +453,7 @@ func (x *vmExec) runChunk() bool {
 		case vHostChk:
 			id := x.code.deferIDs[in.a]
 			fn := x.code.deferred[in.a]
+			cs.trace.snap(cs.mask)
 			if id >= 0 {
 				stats.Checks[id] += live
 			}
@@ -469,17 +479,33 @@ func (x *vmExec) runChunk() bool {
 				}
 			}
 		case vTempEval:
+			cs.trace.snap(cs.mask)
 			stats.TempEvals[in.a] += live
 		case vTempHits:
+			cs.trace.snap(cs.mask)
 			stats.TempHits[in.a] += int64(in.b) * live
 		default:
 			panic(fmt.Sprintf("vm: bad vector opcode %d", in.op))
 		}
 	}
-	return cs.mask.forEach(func(lane int) bool {
+	cs.trace.snap(cs.mask)
+	stop := -1
+	cs.mask.forEach(func(lane int) bool {
 		for li, slot := range cc.laneSlots {
 			x.reg[slot] = cs.lane[li][lane]
 		}
-		return x.survive()
+		if x.survive() {
+			return true
+		}
+		stop = lane
+		return false
 	})
+	if stop < 0 {
+		return true
+	}
+	// Early stop inside the chunk: rewind the counters of the lanes past
+	// the stop point, so the Stopped run's Stats match a scalar run
+	// stopping at the same survivor.
+	rewindChunk(stats, d, k, stop, cc.events, cs.trace)
+	return false
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -500,6 +501,11 @@ func (c *Compiled) Name() string { return "compiled" }
 // Run implements Engine.
 func (c *Compiled) Run(opts Options) (*Stats, error) {
 	return run(c.prog, c, opts)
+}
+
+// RunContext implements Engine.
+func (c *Compiled) RunContext(ctx context.Context, opts Options) (*Stats, error) {
+	return runContext(ctx, c.prog, c, opts)
 }
 
 type compiledState struct {

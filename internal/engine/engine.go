@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/expr"
 )
@@ -91,10 +93,26 @@ type Options struct {
 	// step — temps, pruning guards, tuple fields — is evaluated over the
 	// whole block with a survivor bitmask that short-circuits downstream
 	// steps for killed lanes. Survivor tuples, kill counts, and all Stats
-	// counters are bit-identical to scalar stepping on complete runs (an
-	// early stop may over-count checks by at most one partial chunk).
-	// 0 or 1 selects scalar stepping; the CLIs default to 64.
+	// counters are bit-identical to scalar stepping, including runs that
+	// stop early: a stop inside a partial chunk rewinds the counters of
+	// the lanes past the stop point, so Stopped runs report exactly the
+	// work a scalar run stopping at the same survivor would. 0 or 1
+	// selects scalar stepping; the CLIs default to 64.
 	ChunkSize int
+
+	// Checkpoint, if non-nil, snapshots enumeration progress at the
+	// prefix-tile granularity so an interrupted run can be resumed. It
+	// forces the tile-queue schedule even at Workers <= 1, and requires a
+	// program with at least one loop. See CheckpointConfig.
+	Checkpoint *CheckpointConfig
+
+	// Resume, if non-nil, restores a run from a checkpoint snapshot: the
+	// stored split depth is forced (so the tile set is identical), tiles
+	// marked done are skipped, and their merged counters are folded into
+	// the final Stats. The combined survivor set and funnel counters of
+	// an interrupted-then-resumed run are bit-identical to an
+	// uninterrupted run. See ResumeState.
+	Resume *ResumeState
 }
 
 // Engine enumerates a compiled program, counting and pruning.
@@ -103,18 +121,45 @@ type Engine interface {
 	Name() string
 	// Run enumerates the full space.
 	Run(opts Options) (*Stats, error)
+	// RunContext is Run under a context: cancellation and deadlines stop
+	// the run promptly (all workers observe the shared token), returning
+	// the partial Stats with Cancelled set alongside ctx's error.
+	RunContext(ctx context.Context, opts Options) (*Stats, error)
 }
 
-// recoverRunError converts expression-language panics into errors at the
-// run boundary; anything else propagates.
+// PanicError is a panic recovered at a run boundary — a host callback
+// (Options.OnTuple, a deferred constraint or iterator) or an engine defect
+// that would otherwise take down the process. The run that hit it aborts
+// and returns the panic as its error; with Workers > 1 the pool drains
+// first, so sibling workers exit cleanly.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the stack of the panicking goroutine, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during enumeration: %v", e.Val)
+}
+
+// panicError converts a recovered panic value into the run error:
+// expression-language type errors pass through unchanged (they are the
+// expected failure mode of dynamic specs), everything else is wrapped in
+// PanicError with the captured stack.
+func panicError(r any) error {
+	var te *expr.TypeError
+	if e, ok := r.(error); ok && errors.As(e, &te) {
+		return e
+	}
+	return &PanicError{Val: r, Stack: debug.Stack()}
+}
+
+// recoverRunError converts panics into errors at the run boundary, so a
+// faulty host callback aborts the run instead of crashing the process.
 func recoverRunError(err *error) {
 	if r := recover(); r != nil {
-		var te *expr.TypeError
-		if e, ok := r.(error); ok && errors.As(e, &te) {
-			*err = e
-			return
-		}
-		panic(r)
+		*err = panicError(r)
 	}
 }
 

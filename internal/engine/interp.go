@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -37,6 +38,11 @@ func (in *Interp) Name() string { return "interp" }
 // Run implements Engine.
 func (in *Interp) Run(opts Options) (*Stats, error) {
 	return run(in.prog, in, opts)
+}
+
+// RunContext implements Engine.
+func (in *Interp) RunContext(ctx context.Context, opts Options) (*Stats, error) {
+	return runContext(ctx, in.prog, in, opts)
 }
 
 // ienv is the interpreter's associative environment: one flat name->value

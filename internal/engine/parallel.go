@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,10 +30,14 @@ type runCtl struct {
 	// many workers race.
 	remaining atomic.Int64
 	limited   bool
-	// poll gates the cooperative cancellation check: only parallel runs pay
-	// the atomic load in the loop body (sequential early stop propagates
-	// through return values as before).
+	// poll gates the cooperative cancellation check: parallel and
+	// context-cancellable runs pay the atomic load in the loop body
+	// (sequential early stop propagates through return values as before).
 	poll bool
+	// ctxDone records that cancellation came from the run's context, so the
+	// driver can distinguish a deadline/caller cancellation from a limit
+	// stop or a worker failure.
+	ctxDone atomic.Bool
 }
 
 func newRunCtl(limit int64, parallel bool) *runCtl {
@@ -55,6 +61,15 @@ func (c *runCtl) stop() {
 
 // abort ends the run without Stopped semantics (a worker failed).
 func (c *runCtl) abort() { c.cancel.Store(true) }
+
+// cancelCtx ends the run because its context was cancelled.
+func (c *runCtl) cancelCtx() {
+	c.ctxDone.Store(true)
+	c.cancel.Store(true)
+}
+
+// ctxCancelled reports whether the run was ended by its context.
+func (c *runCtl) ctxCancelled() bool { return c.ctxDone.Load() }
 
 // claim reserves one survivor slot. ok reports whether the caller may record
 // the survivor; last reports that it took the final slot and must stop the
@@ -104,43 +119,121 @@ type tileSet struct {
 
 func (t *tileSet) at(i int) []int64 { return t.vals[i*t.depth : (i+1)*t.depth] }
 
-// run is the shared Run implementation behind every backend's Run method:
-// sequential dispatch, or prefix-tile generation plus a self-scheduling
-// worker pool.
+// run is the shared Run implementation behind every backend's Run method.
 func run(prog *plan.Program, b backend, opts Options) (*Stats, error) {
-	if opts.Workers <= 1 || len(prog.Loops) == 0 {
-		ctl := newRunCtl(opts.Limit, false)
-		st, err := b.runFull(opts, ctl)
-		if err != nil {
-			return nil, err
-		}
-		st.Stopped = ctl.stopped.Load()
-		return st, nil
+	return runContext(context.Background(), prog, b, opts)
+}
+
+// runContext is the shared driver behind every backend's Run and RunContext:
+// sequential dispatch, or prefix-tile generation plus a self-scheduling
+// worker pool. Context cancellation maps onto the shared runCtl token — the
+// same path workers poll for limit stops — so deadlines and caller
+// cancellation stop every worker promptly, and the partial Stats come back
+// with Cancelled set alongside the context's error.
+func runContext(ctx context.Context, prog *plan.Program, b backend, opts Options) (*Stats, error) {
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	ckpt := opts.Checkpoint != nil || opts.Resume != nil
+	if ckpt && len(prog.Loops) == 0 {
+		return nil, errors.New("engine: checkpointing requires a program with at least one loop")
+	}
+	if (opts.Workers > 1 || ckpt) && len(prog.Loops) > 0 {
+		return runTiled(ctx, prog, b, opts)
 	}
 
+	ctl := newRunCtl(opts.Limit, ctx.Done() != nil)
+	stop := context.AfterFunc(ctx, ctl.cancelCtx)
+	defer stop()
+	st, err := b.runFull(opts, ctl)
+	if err != nil {
+		return nil, err
+	}
+	st.Stopped = ctl.stopped.Load()
+	if ctl.ctxCancelled() {
+		st.Cancelled = true
+		return st, context.Cause(ctx)
+	}
+	return st, nil
+}
+
+// runTiled runs the prefix-tile schedule: tile generation, an optional
+// checkpoint tracker, and the self-scheduling worker pool.
+func runTiled(ctx context.Context, prog *plan.Program, b backend, opts Options) (*Stats, error) {
 	workers := opts.Workers
 	if cap := max(8, 4*runtime.NumCPU()); workers > cap {
 		workers = cap
 	}
-	total, tiles, err := genTiles(prog, opts, workers)
+	if workers < 1 {
+		workers = 1 // checkpointing forces the tile schedule even sequentially
+	}
+
+	// A resumed run's survivor quota shrinks by the survivors the committed
+	// tiles already recorded; the regenerated tiling never claims slots.
+	limit := opts.Limit
+	limitSpent := false
+	if r := opts.Resume; r != nil && r.TileStats != nil && limit > 0 {
+		limit -= r.TileStats.Survivors
+		limitSpent = limit <= 0
+	}
+	ctl := newRunCtl(limit, true)
+	stop := context.AfterFunc(ctx, ctl.cancelCtx)
+	defer stop()
+
+	genOpts := opts
+	if opts.Resume != nil {
+		// Force the snapshot's realized depth so the regenerated tile set is
+		// identical regardless of worker count or SplitDepth overrides.
+		genOpts.SplitDepth = opts.Resume.SplitDepth
+	}
+	total, tiles, err := genTiles(prog, genOpts, workers, ctl)
 	if err != nil {
 		return nil, err
 	}
 	total.SplitDepth, total.Tiles = tiles.depth, tiles.n
+	if ctl.ctxCancelled() {
+		// Cancelled during tiling: the tile set is partial, so nothing can
+		// be enumerated (or checkpointed) from it.
+		total.Cancelled = true
+		return total, context.Cause(ctx)
+	}
+
+	var tr *tileTracker
+	if opts.Checkpoint != nil || opts.Resume != nil {
+		tr, err = newTileTracker(prog, opts, tiles, total)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if tiles.n == 0 {
 		// Prelude rejection or an empty prefix level: the tiling already
 		// counted everything there was to count.
+		if tr != nil {
+			if err := tr.finalSnapshot(); err != nil {
+				return nil, err
+			}
+			total.Merge(tr.base)
+		}
+		return total, nil
+	}
+	if limitSpent {
+		// The checkpoint already holds Limit survivors; nothing to re-run.
+		total.Merge(tr.base)
+		total.Stopped = true
 		return total, nil
 	}
 	workers = min(workers, tiles.n)
 
-	ctl := newRunCtl(opts.Limit, true)
 	// Self-scheduling over the tile array: workers grab chunks through an
 	// atomic cursor, so a worker that lands in a heavily pruned (cheap)
 	// region immediately comes back for more while a worker stuck in a
 	// dense subtree keeps the rest of the pool fed. Chunking bounds cursor
 	// traffic on very fine tilings without hurting balance on coarse ones.
+	// Checkpoint mode claims single tiles: commit granularity is the tile.
 	chunk := int64(max(1, tiles.n/(workers*2*tileTarget)))
+	if tr != nil {
+		chunk = 1
+	}
 	var (
 		cursor atomic.Int64
 		wg     sync.WaitGroup
@@ -151,11 +244,35 @@ func run(prog *plan.Program, b backend, opts Options) (*Stats, error) {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w, err := b.newWorker(opts, ctl, tiles.depth)
+			// Panics outside the runTile boundary (driver defects, stats
+			// merging) still abort the pool instead of crashing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					werrs[wi] = panicError(r)
+					ctl.abort()
+				}
+			}()
+			wopts := opts
+			var buf [][]int64
+			if tr != nil && opts.OnTuple != nil {
+				// Transactional delivery: buffer a tile's survivors while it
+				// runs, deliver only once the tile is known complete, just
+				// before its commit — so delivered tuples and committed
+				// counters always describe the same set of tiles.
+				wopts.OnTuple = func(t []int64) bool {
+					buf = append(buf, append([]int64(nil), t...))
+					return true
+				}
+			}
+			w, err := b.newWorker(wopts, ctl, tiles.depth)
 			if err != nil {
 				werrs[wi] = err
 				ctl.abort()
 				return
+			}
+			var prev *Stats
+			if tr != nil {
+				prev = NewStats(prog)
 			}
 			for !ctl.cancelled() {
 				lo := cursor.Add(chunk) - chunk
@@ -164,29 +281,170 @@ func run(prog *plan.Program, b backend, opts Options) (*Stats, error) {
 				}
 				hi := min(lo+chunk, int64(tiles.n))
 				for t := lo; t < hi && !ctl.cancelled(); t++ {
+					if tr != nil {
+						if tr.skip(int(t)) {
+							continue
+						}
+						buf = buf[:0]
+					}
 					if err := w.runTile(tiles.at(int(t))); err != nil {
 						werrs[wi] = err
 						ctl.abort()
 						return
 					}
+					if tr == nil {
+						continue
+					}
+					if ctl.cancelled() {
+						// The shared token may have cut this tile short;
+						// leave it uncommitted so a resume re-runs it whole.
+						return
+					}
+					userStop := false
+					for _, tp := range buf {
+						if !opts.OnTuple(tp) {
+							userStop = true
+							break
+						}
+					}
+					if err := tr.commit(int(t), w.stats(), prev); err != nil {
+						werrs[wi] = err
+						ctl.abort()
+						return
+					}
+					if userStop {
+						ctl.stop()
+					}
 				}
 			}
-			wstats[wi] = w.stats()
+			if tr == nil {
+				wstats[wi] = w.stats()
+			}
 		}(i)
 	}
 	wg.Wait()
+
+	var werr error
 	for _, err := range werrs {
 		if err != nil {
-			return nil, err
+			werr = err
+			break
 		}
 	}
-	for _, st := range wstats {
-		if st != nil {
-			total.Merge(st)
+	if tr != nil {
+		// The final snapshot covers exactly the committed tiles, and is
+		// written even when a worker failed — a sweep killed by a panicking
+		// host callback stays resumable past the fault.
+		if serr := tr.finalSnapshot(); serr != nil && werr == nil {
+			werr = serr
 		}
+		total.Merge(tr.base)
+	} else {
+		for _, st := range wstats {
+			if st != nil {
+				total.Merge(st)
+			}
+		}
+	}
+	if werr != nil {
+		return nil, werr
 	}
 	total.Stopped = ctl.stopped.Load()
+	if ctl.ctxCancelled() {
+		total.Cancelled = true
+		return total, context.Cause(ctx)
+	}
 	return total, nil
+}
+
+// tileTracker coordinates checkpoint-mode commits: the committed-tile
+// bitmap, the merged counters of exactly those tiles, and the snapshot
+// cadence. Tiles a resumed run already committed are skipped through an
+// immutable bitmap read without the lock.
+type tileTracker struct {
+	mu        sync.Mutex
+	cfg       *CheckpointConfig
+	every     int
+	sinceSnap int
+	done      []uint64
+	completed int
+	depth     int
+	tiles     int
+	// base accumulates the committed tiles' counters (seeded from the
+	// resume snapshot); its flags and metadata stay zero.
+	base *Stats
+	// resumeDone is the resume snapshot's bitmap, immutable after
+	// construction so workers may read it lock-free.
+	resumeDone []uint64
+}
+
+func newTileTracker(prog *plan.Program, opts Options, tiles *tileSet, st *Stats) (*tileTracker, error) {
+	tr := &tileTracker{
+		cfg:   opts.Checkpoint,
+		every: 1,
+		done:  make([]uint64, (tiles.n+63)/64),
+		depth: tiles.depth,
+		tiles: tiles.n,
+		base:  NewStats(prog),
+	}
+	if tr.cfg != nil && tr.cfg.EveryTiles > 1 {
+		tr.every = tr.cfg.EveryTiles
+	}
+	if r := opts.Resume; r != nil {
+		if err := r.validate(tiles, st); err != nil {
+			return nil, err
+		}
+		copy(tr.done, r.Done)
+		tr.resumeDone = append([]uint64(nil), r.Done...)
+		tr.completed = r.CompletedTiles()
+		tr.base.copyCountersFrom(r.TileStats)
+	}
+	return tr, nil
+}
+
+// skip reports whether a resumed checkpoint already committed tile t.
+func (tr *tileTracker) skip(t int) bool {
+	return tr.resumeDone != nil && tr.resumeDone[t>>6]&(1<<uint(t&63)) != 0
+}
+
+// commit folds one completed tile's counter delta (the worker's cumulative
+// stats minus its baseline) into the committed set, advances the baseline,
+// and snapshots every `every` commits. A snapshot error aborts the run.
+func (tr *tileTracker) commit(tile int, cur, prev *Stats) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.base.MergeDelta(cur, prev)
+	prev.copyCountersFrom(cur)
+	tr.done[tile>>6] |= 1 << uint(tile&63)
+	tr.completed++
+	tr.sinceSnap++
+	if tr.cfg != nil && tr.cfg.OnSnapshot != nil && tr.sinceSnap >= tr.every {
+		tr.sinceSnap = 0
+		return tr.snapshotLocked()
+	}
+	return nil
+}
+
+func (tr *tileTracker) snapshotLocked() error {
+	return tr.cfg.OnSnapshot(&Snapshot{
+		SplitDepth: tr.depth,
+		Tiles:      tr.tiles,
+		Completed:  tr.completed,
+		Done:       append([]uint64(nil), tr.done...),
+		TileStats:  tr.base.Clone(),
+	})
+}
+
+// finalSnapshot writes one last snapshot after the pool drains, so the
+// checkpoint file always reflects every committed tile.
+func (tr *tileTracker) finalSnapshot() error {
+	if tr.cfg == nil || tr.cfg.OnSnapshot == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.sinceSnap = 0
+	return tr.snapshotLocked()
 }
 
 // genTiles runs the prelude and materializes prefix tiles for the first K
@@ -200,7 +458,7 @@ func run(prog *plan.Program, b backend, opts Options) (*Stats, error) {
 // (plan.ChooseSplitDepth) targeting tileTarget*workers tiles, extended past
 // the estimate only while the realized tile count is still short of the
 // worker count, and cut short once the target is comfortably met.
-func genTiles(prog *plan.Program, opts Options, workers int) (st *Stats, tiles *tileSet, err error) {
+func genTiles(prog *plan.Program, opts Options, workers int, ctl *runCtl) (st *Stats, tiles *tileSet, err error) {
 	defer recoverRunError(&err)
 	st = NewStats(prog)
 	env := prog.NewEnv()
@@ -241,8 +499,8 @@ func genTiles(prog *plan.Program, opts Options, workers int) (st *Stats, tiles *
 		} else if d >= goalK {
 			break
 		}
-		tiles = expandTiles(prog, env, tiles, d, st)
-		if tiles.n == 0 {
+		tiles = expandTiles(prog, env, tiles, d, st, ctl)
+		if tiles.n == 0 || (ctl != nil && ctl.cancelled()) {
 			break
 		}
 	}
@@ -253,11 +511,16 @@ func genTiles(prog *plan.Program, opts Options, workers int) (st *Stats, tiles *
 // the prefix, replays its assignments, enumerates the level-d domain, and
 // applies the steps hoisted to depth d. Counters land in st exactly as the
 // sequential enumerators would count them.
-func expandTiles(prog *plan.Program, env *expr.Env, in *tileSet, d int, st *Stats) *tileSet {
+func expandTiles(prog *plan.Program, env *expr.Env, in *tileSet, d int, st *Stats, ctl *runCtl) *tileSet {
 	lp := prog.Loops[d]
 	out := &tileSet{depth: d + 1}
 	var buf []int64
 	for t := 0; t < in.n; t++ {
+		if ctl != nil && ctl.cancelled() {
+			// Cancelled mid-tiling: the caller checks the token and discards
+			// the partial tile set.
+			return out
+		}
 		prefix := in.vals[t*in.depth : (t+1)*in.depth]
 		replayPrefix(prog, env, prefix)
 		// Materialize this level's values before running any steps: step

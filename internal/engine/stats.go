@@ -83,6 +83,11 @@ type Stats struct {
 	// even under concurrency.
 	Stopped bool
 
+	// Cancelled reports that the run's context was cancelled (deadline or
+	// caller cancellation) before enumeration finished. Driver metadata
+	// set once alongside the returned ctx error: Merge leaves it alone.
+	Cancelled bool
+
 	// SplitDepth and Tiles describe the parallel schedule that produced
 	// this run: tiles were value prefixes of the first SplitDepth loops.
 	// Both are zero for sequential runs. Driver metadata, not counters:
@@ -139,6 +144,58 @@ func (s *Stats) Merge(other *Stats) {
 	s.LanesMasked += other.LanesMasked
 	s.Survivors += other.Survivors
 	s.Stopped = s.Stopped || other.Stopped
+}
+
+// MergeDelta adds the counter difference cur-prev into s: the work one tile
+// contributed to a worker's cumulative counters. Flags and metadata are
+// untouched — deltas are pure counters.
+func (s *Stats) MergeDelta(cur, prev *Stats) {
+	for i := range s.LoopVisits {
+		s.LoopVisits[i] += cur.LoopVisits[i] - prev.LoopVisits[i]
+	}
+	for i := range s.Checks {
+		s.Checks[i] += cur.Checks[i] - prev.Checks[i]
+		s.Kills[i] += cur.Kills[i] - prev.Kills[i]
+	}
+	for i := range s.TempEvals {
+		s.TempEvals[i] += cur.TempEvals[i] - prev.TempEvals[i]
+		s.TempHits[i] += cur.TempHits[i] - prev.TempHits[i]
+	}
+	for i := range s.BoundsNarrowed {
+		s.BoundsNarrowed[i] += cur.BoundsNarrowed[i] - prev.BoundsNarrowed[i]
+		s.IterationsSkipped[i] += cur.IterationsSkipped[i] - prev.IterationsSkipped[i]
+	}
+	s.ChunksEvaluated += cur.ChunksEvaluated - prev.ChunksEvaluated
+	s.LanesMasked += cur.LanesMasked - prev.LanesMasked
+	s.Survivors += cur.Survivors - prev.Survivors
+}
+
+// copyCountersFrom overwrites s's counters with other's, leaving flags and
+// metadata alone. Used to advance a per-worker delta baseline.
+func (s *Stats) copyCountersFrom(other *Stats) {
+	copy(s.LoopVisits, other.LoopVisits)
+	copy(s.Checks, other.Checks)
+	copy(s.Kills, other.Kills)
+	copy(s.TempEvals, other.TempEvals)
+	copy(s.TempHits, other.TempHits)
+	copy(s.BoundsNarrowed, other.BoundsNarrowed)
+	copy(s.IterationsSkipped, other.IterationsSkipped)
+	s.ChunksEvaluated = other.ChunksEvaluated
+	s.LanesMasked = other.LanesMasked
+	s.Survivors = other.Survivors
+}
+
+// Clone returns a deep copy of s.
+func (s *Stats) Clone() *Stats {
+	cp := *s
+	cp.LoopVisits = append([]int64(nil), s.LoopVisits...)
+	cp.Checks = append([]int64(nil), s.Checks...)
+	cp.Kills = append([]int64(nil), s.Kills...)
+	cp.TempEvals = append([]int64(nil), s.TempEvals...)
+	cp.TempHits = append([]int64(nil), s.TempHits...)
+	cp.BoundsNarrowed = append([]int64(nil), s.BoundsNarrowed...)
+	cp.IterationsSkipped = append([]int64(nil), s.IterationsSkipped...)
+	return &cp
 }
 
 // TotalVisits returns the sum of loop visits across depths: the paper's

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -37,6 +38,11 @@ func (vm *VM) Name() string { return "vm" }
 // Run implements Engine.
 func (vm *VM) Run(opts Options) (*Stats, error) {
 	return run(vm.prog, vm, opts)
+}
+
+// RunContext implements Engine.
+func (vm *VM) RunContext(ctx context.Context, opts Options) (*Stats, error) {
+	return runContext(ctx, vm.prog, vm, opts)
 }
 
 type opcode uint8

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchjson bench-compare vet fmt examples artifacts gensweep clean
+.PHONY: all build test test-short race bench benchjson bench-compare profile vet fmt examples artifacts gensweep clean
 
 all: build test
 
@@ -44,6 +44,13 @@ bench-compare:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
 	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline $(BASELINE) -max-regress $(MAX_REGRESS)
 
+# Profile the full pruned GEMM sweep: writes cpu.prof and mem.prof for
+# `go tool pprof`. Override the workload with PROFILE_ARGS.
+PROFILE_ARGS ?= -gemm dgemm_nn -scale 32 -count -workers 1
+profile:
+	$(GO) run ./cmd/beast $(PROFILE_ARGS) -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
+
 vet:
 	$(GO) vet ./...
 
@@ -69,4 +76,4 @@ gensweep:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cpu.prof mem.prof

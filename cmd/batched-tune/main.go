@@ -38,6 +38,8 @@ func main() {
 		chunk     = flag.Int("chunk", 64, "innermost-loop chunk size for batched evaluation (1 = scalar)")
 		noNarrow  = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		noTab     = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
+		tabBudget = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
 		orderSpec = flag.String("order", "", "comma-separated loop order, e.g. nb,dim_x,mpb,unroll (implies -no-reorder; must respect domain dependencies)")
 		ckptPath  = flag.String("checkpoint", "", "snapshot tuning progress to this file (single -sizes value only; resume with -resume)")
 		resumeP   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (single -sizes value only)")
@@ -46,9 +48,11 @@ func main() {
 	)
 	flag.Parse()
 	planOpts := plan.Options{
-		DisableNarrowing: *noNarrow,
-		DisableReorder:   *noReorder,
-		Order:            splitOrder(*orderSpec),
+		DisableNarrowing:  *noNarrow,
+		DisableReorder:    *noReorder,
+		DisableTabulation: *noTab,
+		TabulateBudget:    *tabBudget,
+		Order:             splitOrder(*orderSpec),
 	}
 
 	var dev *device.Properties

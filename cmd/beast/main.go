@@ -57,13 +57,23 @@ func main() {
 		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer: CSE, subexpression hoisting, simplification (ablation)")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
+		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		ckptPath   = flag.String("checkpoint", "", "snapshot enumeration progress to this file (resume with -resume)")
 		resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint file")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in completed tiles for -checkpoint")
 		timeout    = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	s, err := loadSpace(*specPath, *gemmName, *devName, *devJSON, *scale, *minThreads)
 	if err != nil {
@@ -80,11 +90,13 @@ func main() {
 	fmt.Println(s.Summary())
 
 	prog, err := plan.Compile(s, plan.Options{
-		DisableHoisting:  *noHoist,
-		DisableCSE:       *noCSE,
-		DisableNarrowing: *noNarrow,
-		DisableReorder:   *noReorder,
-		Order:            splitOrder(*orderSpec),
+		DisableHoisting:   *noHoist,
+		DisableCSE:        *noCSE,
+		DisableNarrowing:  *noNarrow,
+		DisableReorder:    *noReorder,
+		DisableTabulation: *noTabulate,
+		TabulateBudget:    *tabBudget,
+		Order:             splitOrder(*orderSpec),
 	})
 	if err != nil {
 		fail(err)
@@ -183,6 +195,10 @@ func main() {
 	if st.ChunksEvaluated > 0 {
 		fmt.Printf("chunked inner loop: chunk=%d chunks=%d lanes-masked=%d\n",
 			*chunk, st.ChunksEvaluated, st.LanesMasked)
+	}
+	if st.TabulatedChecks > 0 {
+		fmt.Printf("constraint tabulation: %d checks from %d table bytes (%d row-cache hits)\n",
+			st.TabulatedChecks, st.TableBytes, st.RowCacheHits)
 	}
 	if skipped := st.TotalIterationsSkipped(); skipped > 0 {
 		fmt.Printf("bounds narrowing: %d iterations skipped (%.1f%% of %d would-be visits)\n",

@@ -55,18 +55,30 @@ func main() {
 		energy     = flag.Bool("energy", false, "multi-objective performance/energy tuning (§XI.E): print the Pareto front")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation: pruning checks stay in the loop body instead of narrowing loop ranges (ablation)")
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
+		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
+		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		ckptPath   = flag.String("checkpoint", "", "snapshot exhaustive-tuning progress to this file (resume with -resume)")
 		resumePath = flag.String("resume", "", "resume an interrupted exhaustive run from this checkpoint file")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in completed tiles for -checkpoint")
 		timeout    = flag.Duration("timeout", 0, "cancel the tuning run after this duration (0 = no limit)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	planOpts := plan.Options{
-		DisableNarrowing: *noNarrow,
-		DisableReorder:   *noReorder,
-		Order:            splitOrder(*orderSpec),
+		DisableNarrowing:  *noNarrow,
+		DisableReorder:    *noReorder,
+		DisableTabulation: *noTabulate,
+		TabulateBudget:    *tabBudget,
+		Order:             splitOrder(*orderSpec),
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	if *table1 {
 		runTable1()

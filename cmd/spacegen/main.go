@@ -47,6 +47,8 @@ func main() {
 		noCSE      = flag.Bool("no-cse", false, "disable the plan-time expression optimizer in the emitted code (ablation)")
 		noNarrow   = flag.Bool("no-narrow", false, "disable bounds compilation in the emitted code (ablation)")
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: emit the declared nest (ablation)")
+		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: emitted checks evaluate expressions instead of bitset lookup tables (ablation)")
+		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables in the emitted code")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		writeGS    = flag.Bool("write-gensweep", false, "regenerate internal/gensweep/*_gen.go and exit")
@@ -65,10 +67,12 @@ func main() {
 		fail(err)
 	}
 	prog, err := plan.Compile(s, plan.Options{
-		DisableCSE:       *noCSE,
-		DisableNarrowing: *noNarrow,
-		DisableReorder:   *noReorder,
-		Order:            splitOrder(*orderSpec),
+		DisableCSE:        *noCSE,
+		DisableNarrowing:  *noNarrow,
+		DisableReorder:    *noReorder,
+		DisableTabulation: *noTabulate,
+		TabulateBudget:    *tabBudget,
+		Order:             splitOrder(*orderSpec),
 	})
 	if err != nil {
 		fail(err)

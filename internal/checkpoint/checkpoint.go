@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -107,9 +108,30 @@ func Save(path string, f *File) error {
 	return nil
 }
 
+// ErrCorruptCheckpoint marks a checkpoint file that exists but does not
+// decode — truncated by a full disk, damaged in transfer, or not a
+// checkpoint at all. Callers match it with errors.Is; the message carries
+// the path and the recovery action instead of a raw JSON offset.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// corruptError wraps the decode failure so errors.Is(err,
+// ErrCorruptCheckpoint) matches while the underlying JSON error stays
+// reachable via Unwrap for debugging.
+type corruptError struct {
+	path  string
+	cause error
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("checkpoint: %s is truncated or not a checkpoint file; delete it and re-run without -resume to start fresh", e.path)
+}
+
+func (e *corruptError) Is(target error) bool { return target == ErrCorruptCheckpoint }
+func (e *corruptError) Unwrap() error        { return e.cause }
+
 // Load reads and decodes a checkpoint file, checking only the format
 // version — fingerprint validation happens in Resume, where the caller's
-// plan is known.
+// plan is known. A file that does not decode yields ErrCorruptCheckpoint.
 func Load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -117,7 +139,7 @@ func Load(path string) (*File, error) {
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("checkpoint: %s is not a checkpoint file: %w", path, err)
+		return nil, &corruptError{path: path, cause: err}
 	}
 	if f.Version != Version {
 		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads version %d", path, f.Version, Version)

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -78,6 +79,31 @@ func TestLoadRejectsGarbageAndWrongVersion(t *testing.T) {
 	}
 	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "not a checkpoint file") {
 		t.Fatalf("garbage load: err = %v", err)
+	}
+	if _, err := Load(bad); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("garbage load should match ErrCorruptCheckpoint, got %v", err)
+	}
+	// A mid-write truncation (full disk, crash before the atomic rename
+	// existed) must surface the path and a recovery hint, not a raw JSON
+	// offset.
+	good := filepath.Join(dir, "good.ckpt")
+	if err := Save(good, &File{Version: Version, Fingerprint: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(trunc)
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated load should match ErrCorruptCheckpoint, got %v", err)
+	}
+	if !strings.Contains(err.Error(), trunc) || !strings.Contains(err.Error(), "re-run without -resume") {
+		t.Fatalf("truncated load error should carry the path and a re-run hint, got %q", err)
 	}
 	old := filepath.Join(dir, "old.ckpt")
 	if err := Save(old, &File{Version: Version + 1, Fingerprint: "x"}); err != nil {

@@ -11,6 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 )
 
 // Exit codes of the cmd/ tools.
@@ -49,7 +52,70 @@ func Usage(tool string, err error) {
 }
 
 func exit(tool string, err error, code int) {
+	runAtExit()
 	os.Stdout.Sync()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
 	os.Exit(code)
+}
+
+// atExit holds cleanups that must run on the error exit paths too —
+// Fail/Usage call os.Exit, which skips defers, so StartProfiles registers
+// its flush here to keep profiles from dying with the process.
+var (
+	atExitMu sync.Mutex
+	atExit   []func()
+)
+
+func runAtExit() {
+	atExitMu.Lock()
+	fns := atExit
+	atExit = nil
+	atExitMu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
+// StartProfiles starts pprof collection for the -cpuprofile/-memprofile
+// flags: CPU sampling begins immediately, the heap profile is written
+// when the returned stop function runs. Callers defer stop(); the same
+// flush is registered with the Fail/Usage exit path, and running it twice
+// is safe. Empty paths disable the respective profile.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, ferr := os.Create(memPath)
+				if ferr != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", ferr)
+					return
+				}
+				runtime.GC() // settle allocations so the heap profile reflects live data
+				if werr := pprof.WriteHeapProfile(f); werr != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", werr)
+				}
+				f.Close()
+			}
+		})
+	}
+	atExitMu.Lock()
+	atExit = append(atExit, stop)
+	atExitMu.Unlock()
+	return stop, nil
 }

@@ -1,0 +1,137 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+)
+
+// Plan-time constraint tables in generated code. Both generators emit the
+// pass bitsets as static constant arrays and replace the per-lane kill
+// loop of a tabulated check with one misaligned 64-bit window read ANDed
+// against the survivor mask — the same word-wise form the engines use, so
+// the emitted counters stay bit-identical to expression emission.
+//
+// Only value-indexed tabulations are emittable: their bit positions
+// derive from lane values with plan constants ((value − Base)/Step),
+// which stays valid whatever form the domain normalizes to and under
+// loop-entry narrowing. Binary tables are emitted only in Full form (the
+// outer domain materialized whole); lazily cached binary tables and
+// position-indexed tabulations keep the expression path, which computes
+// identical kill bits.
+
+// emittableTabs returns the plan table indices the code generators can
+// emit as static data, in table order. Empty for scalar emission: the
+// scalar paths keep the expression form.
+func emittableTabs(prog *plan.Program, chunk int) []int {
+	if chunk <= 1 || prog.Tab == nil || !prog.Tab.ValueIndexed {
+		return nil
+	}
+	var idx []int
+	for ti, t := range prog.Tab.Tables {
+		if t.Kind == plan.UnaryTable || t.Full {
+			idx = append(idx, ti)
+		}
+	}
+	return idx
+}
+
+// tabByStats maps a constraint's StatsID to its emittable table index.
+func tabByStats(prog *plan.Program, chunk int) map[int]int {
+	m := make(map[int]int)
+	for _, ti := range emittableTabs(prog, chunk) {
+		m[prog.Tab.Tables[ti].StatsID] = ti
+	}
+	return m
+}
+
+func tabWords(words []uint64) string {
+	parts := make([]string, len(words))
+	for i, w := range words {
+		parts[i] = fmt.Sprintf("0x%016x", w)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// emitTabTables writes the constraint tables as static const arrays plus
+// the window reader the chunked body ANDs against the survivor mask.
+func (g *cgen) emitTabTables() {
+	idx := emittableTabs(g.prog, g.chunk)
+	if len(idx) == 0 {
+		return
+	}
+	tab := g.prog.Tab
+	g.w("/* Plan-tabulated constraint checks: bit i of a row is 1 when inner")
+	g.w(" * value %d + i*%d passes the check. */", tab.Base, tab.Step)
+	for _, ti := range idx {
+		t := tab.Tables[ti]
+		if t.Kind == plan.UnaryTable {
+			g.w("/* %s: unary over %s */", t.Name, tab.InnerName)
+			g.w("static const uint64_t beast_tab%d[%d] = {", ti, len(t.Bits))
+			g.w("    %sULL", strings.ReplaceAll(tabWords(t.Bits), ", ", "ULL, "))
+			g.w("};")
+			continue
+		}
+		g.w("/* %s: %s x %s, %d rows of %d words */", t.Name, t.OuterName, tab.InnerName, t.OuterN, t.RowWords)
+		g.w("static const uint64_t beast_tab%d[%d] = {", ti, t.OuterN*t.RowWords)
+		for _, row := range tab.FullRows(t) {
+			g.w("    %sULL,", strings.ReplaceAll(tabWords(row), ", ", "ULL, "))
+		}
+		g.w("};")
+	}
+	g.w("/* 64-bit window of a pass bitset at bit offset off; bits beyond the")
+	g.w(" * row read as zero and map only to dead lanes. */")
+	g.w("static uint64_t beast_tab_window(const uint64_t *row, int nwords, i64 off) {")
+	g.w("    const i64 beast_wi = off >> 6;")
+	g.w("    const unsigned beast_sh = (unsigned)(off & 63);")
+	g.w("    uint64_t w = 0;")
+	g.w("    if (beast_wi >= 0 && beast_wi < nwords) w = row[beast_wi] >> beast_sh;")
+	g.w("    if (beast_sh != 0 && beast_wi + 1 >= 0 && beast_wi + 1 < nwords) w |= row[beast_wi + 1] << (64 - beast_sh);")
+	g.w("    return w;")
+	g.w("}")
+	g.blank()
+}
+
+// emitTabTables is the Go mirror; names carry the function-name prefix so
+// several generated files can share one package.
+func (g *gogen) emitTabTables() {
+	idx := emittableTabs(g.prog, g.chunk)
+	if len(idx) == 0 {
+		return
+	}
+	tab := g.prog.Tab
+	p := g.opts.FuncName
+	g.w("// Plan-tabulated constraint checks: bit i of a row is 1 when inner")
+	g.w("// value %d + i*%d passes the check.", tab.Base, tab.Step)
+	for _, ti := range idx {
+		t := tab.Tables[ti]
+		if t.Kind == plan.UnaryTable {
+			g.w("// %s: unary over %s", t.Name, tab.InnerName)
+			g.w("var beast%sTab%d = [%d]uint64{%s}", p, ti, len(t.Bits), tabWords(t.Bits))
+			continue
+		}
+		g.w("// %s: %s x %s, %d rows of %d words", t.Name, t.OuterName, tab.InnerName, t.OuterN, t.RowWords)
+		g.w("var beast%sTab%d = [%d]uint64{", p, ti, t.OuterN*t.RowWords)
+		for _, row := range tab.FullRows(t) {
+			g.w("\t%s,", tabWords(row))
+		}
+		g.w("}")
+	}
+	g.blank()
+	g.w("// beast%sTabWindow reads a 64-bit window of a pass bitset at bit", p)
+	g.w("// offset off; bits beyond the row read as zero and map only to dead")
+	g.w("// lanes.")
+	g.w("func beast%sTabWindow(row []uint64, off int64) uint64 {", p)
+	g.w("\twi, sh := int(off>>6), uint(off&63)")
+	g.w("\tvar w uint64")
+	g.w("\tif wi >= 0 && wi < len(row) {")
+	g.w("\t\tw = row[wi] >> sh")
+	g.w("\t}")
+	g.w("\tif sh != 0 && wi+1 >= 0 && wi+1 < len(row) {")
+	g.w("\t\tw |= row[wi+1] << (64 - sh)")
+	g.w("\t}")
+	g.w("\treturn w")
+	g.w("}")
+	g.blank()
+}

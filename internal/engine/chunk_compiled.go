@@ -31,6 +31,7 @@ type chunkStep struct {
 	laneIdx    int // assign target lane
 	vec        vecFn
 	statsID    int
+	tabIdx     int // plan table index, -1 for the expression path
 	deferredFn func(r []int64) bool
 	temp       bool
 	level      int
@@ -46,6 +47,7 @@ type compiledChunk struct {
 	lane      [][]int64
 	vals      []int64 // == lane[0]
 	n         int     // fill cursor
+	pushed    int     // values pushed since loop entry (position-indexed tables)
 	mask      laneMask
 	steps     []chunkStep
 	events    []chunkEvent
@@ -73,13 +75,18 @@ func (c *Compiled) newChunk(size int) (*compiledChunk, error) {
 	}
 	ch.vals = ch.lane[0]
 	inner := c.prog.Loops[v.Depth]
+	tabIdx := tabStepIndex(c.prog, v.Depth)
 	for i := range inner.Steps {
 		st := &inner.Steps[i]
 		cs := chunkStep{
 			check: st.Kind == plan.CheckStep, statsID: st.StatsID,
-			temp: st.Temp, level: st.Depth + 1, tempRefs: int64(st.TempRefs),
+			tabIdx: tabIdx[i],
+			temp:   st.Temp, level: st.Depth + 1, tempRefs: int64(st.TempRefs),
 		}
-		if cs.check && st.Constraint.Deferred() {
+		if cs.tabIdx >= 0 {
+			// Tabulated check: the pass bits replace the kill vector, so
+			// no lane-wise expression is compiled.
+		} else if cs.check && st.Constraint.Deferred() {
 			cs.deferredFn = c.loops[v.Depth].steps[i].deferredFn
 		} else {
 			fn, err := compileVecExpr(st.Expr, v.LaneOf, size)
@@ -105,6 +112,7 @@ func (s *compiledState) push(d int, v int64) bool {
 	ch := s.chunk
 	ch.vals[ch.n] = v
 	ch.n++
+	ch.pushed++
 	if ch.n == ch.size {
 		return s.flushChunk(d)
 	}
@@ -150,7 +158,15 @@ func (s *compiledState) flushChunk(d int) bool {
 		ch.trace.snap(ch.mask)
 		s.stats.Checks[st.statsID] += live
 		var kills int64
-		if st.deferredFn != nil {
+		if st.tabIdx >= 0 && s.tabx != nil {
+			s.stats.TabulatedChecks += live
+			var outer int64
+			if t := s.tabx.tab.Tables[st.tabIdx]; t.Kind == plan.BinaryTable {
+				outer = s.reg[t.OuterSlot]
+			}
+			row := s.tabx.row(st.tabIdx, outer, s.stats)
+			kills = andMaskRow(ch.mask, k, row, s.tabx.basePos(ch.vals[0], ch.pushed, k))
+		} else if st.deferredFn != nil {
 			ch.mask.forEach(func(lane int) bool {
 				for li, arr := range ch.lane {
 					s.reg[ch.laneSlots[li]] = arr[lane]
@@ -209,6 +225,7 @@ func (s *compiledState) loopChunk(d int) bool {
 	lp := &s.c.loops[d]
 	ch := s.chunk
 	ch.n = 0
+	ch.pushed = 0
 	if lp.rng != nil {
 		start, stop, step := lp.rng.span(s.reg)
 		if step > 0 {

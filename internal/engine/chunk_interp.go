@@ -21,11 +21,15 @@ type interpChunk struct {
 	lane      [][]int64
 	vals      []int64 // == lane[0], the chunk fill buffer
 	n         int     // fill cursor
+	pushed    int     // values pushed since loop entry (position-indexed tables)
 	mask      laneMask
 	events    []chunkEvent
 	trace     *chunkTrace
 	arena     [][]int64
 	cursor    int
+	// tabIdx[i] is the plan table index of innermost step i, -1 when the
+	// step keeps the expression path (see tabulate.go).
+	tabIdx []int
 	// refNames lists the non-resident names the innermost expressions
 	// read; each loop entry verifies they hold numeric values before
 	// chunking (a string — possible only under -no-fold — falls back to
@@ -53,6 +57,7 @@ func (in *Interp) newChunk(size int) *interpChunk {
 	ch.vals = ch.lane[0]
 	ch.events = chunkEvents(in.prog.Loops[v.Depth].Steps)
 	ch.trace = newChunkTrace(size, len(ch.events))
+	ch.tabIdx = tabStepIndex(in.prog, v.Depth)
 	seen := make(map[string]bool)
 	for i := range in.prog.Loops[v.Depth].Steps {
 		st := &in.prog.Loops[v.Depth].Steps[i]
@@ -276,6 +281,7 @@ func (s *interpState) pushChunk(d int, v int64) bool {
 	ch := s.chunk
 	ch.vals[ch.n] = v
 	ch.n++
+	ch.pushed++
 	if ch.n == ch.size {
 		return s.flushChunk(d)
 	}
@@ -329,7 +335,15 @@ func (s *interpState) flushChunk(d int) bool {
 		ch.trace.snap(ch.mask)
 		s.stats.Checks[st.StatsID] += live
 		var kills int64
-		if st.Constraint.Deferred() {
+		if ti := ch.tabIdx[i]; ti >= 0 && s.tabx != nil {
+			s.stats.TabulatedChecks += live
+			var outer int64
+			if t := s.tabx.tab.Tables[ti]; t.Kind == plan.BinaryTable {
+				outer = s.env[t.OuterName].I
+			}
+			row := s.tabx.row(ti, outer, s.stats)
+			kills = andMaskRow(ch.mask, k, row, s.tabx.basePos(ch.vals[0], ch.pushed, k))
+		} else if st.Constraint.Deferred() {
 			ch.mask.forEach(func(lane int) bool {
 				s.writebackLanes(lane)
 				args := s.deferredArgs(st.Constraint.DeclaredDeps)
@@ -387,6 +401,7 @@ func (s *interpState) loopChunk(d int) bool {
 	lp := s.in.prog.Loops[d]
 	ch := s.chunk
 	ch.n = 0
+	ch.pushed = 0
 	if lp.Iter.Kind != space.ExprIter {
 		args := s.iterArgs(d, lp)
 		switch lp.Iter.Kind {

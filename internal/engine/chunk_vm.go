@@ -41,6 +41,7 @@ const (
 	vAbs
 	vTable    // pop col, row; push tables[a][row][col] or default b
 	vCheck    // pop kill vector; mask lanes, count Checks/Kills for constraint a
+	vTabChk   // AND plan table a's pass bits into the mask; count Checks/Kills for constraint b
 	vHostChk  // deferred[a] per live lane after lane writeback
 	vTempEval // stats.TempEvals[a] += live
 	vTempHits // stats.TempHits[a] += b * live
@@ -65,12 +66,13 @@ type vmChunkCode struct {
 // buffer (aliasing lane 0), the survivor mask, and the vector stack of
 // owned, reused buffers.
 type vmChunkState struct {
-	lane  [][]int64
-	vals  []int64
-	n     int
-	mask  laneMask
-	trace *chunkTrace
-	vstk  [][]int64
+	lane   [][]int64
+	vals   []int64
+	n      int
+	pushed int // values pushed since loop entry (position-indexed tables)
+	mask   laneMask
+	trace  *chunkTrace
+	vstk   [][]int64
 }
 
 func newVMChunkState(cc *vmChunkCode) *vmChunkState {
@@ -96,7 +98,8 @@ func (a *vmAssembler) buildChunk(size int) {
 		cc.laneSlots = append(cc.laneSlots, int32(slot))
 	}
 	vemit := func(in vins) { cc.ins = append(cc.ins, in) }
-	for _, st := range prog.Loops[v.Depth].Steps {
+	tabIdx := tabStepIndex(prog, v.Depth)
+	for i, st := range prog.Loops[v.Depth].Steps {
 		if st.TempRefs > 0 {
 			vemit(vins{op: vTempHits, a: int32(st.Depth + 1), b: int32(st.TempRefs)})
 		}
@@ -106,6 +109,10 @@ func (a *vmAssembler) buildChunk(size int) {
 			if st.Temp {
 				vemit(vins{op: vTempEval, a: int32(st.Depth + 1)})
 			}
+			continue
+		}
+		if ti := tabIdx[i]; ti >= 0 {
+			vemit(vins{op: vTabChk, a: int32(ti), b: int32(st.StatsID)})
 			continue
 		}
 		if st.Constraint.Deferred() {
@@ -222,6 +229,7 @@ func (x *vmExec) pushChunk(v int64) bool {
 	cs := x.chunkState
 	cs.vals[cs.n] = v
 	cs.n++
+	cs.pushed++
 	if cs.n == x.code.chunk.size {
 		return x.runChunk()
 	}
@@ -444,6 +452,24 @@ func (x *vmExec) runChunk() bool {
 			})
 			if kills > 0 {
 				stats.Kills[in.a] += kills
+				stats.LanesMasked += kills
+				live -= kills
+				if live == 0 {
+					return true
+				}
+			}
+		case vTabChk:
+			cs.trace.snap(cs.mask)
+			stats.Checks[in.b] += live
+			stats.TabulatedChecks += live
+			var outer int64
+			if t := x.tabx.tab.Tables[in.a]; t.Kind == plan.BinaryTable {
+				outer = x.reg[t.OuterSlot]
+			}
+			row := x.tabx.row(int(in.a), outer, stats)
+			kills := andMaskRow(cs.mask, k, row, x.tabx.basePos(cs.vals[0], cs.pushed, k))
+			if kills > 0 {
+				stats.Kills[in.b] += kills
 				stats.LanesMasked += kills
 				live -= kills
 				if live == 0 {

@@ -36,14 +36,16 @@ type slotInit struct {
 type intFn func(r []int64) int64
 
 type compiledStep struct {
-	check      bool
-	slot       int // assign target
-	fn         intFn
-	statsID    int
-	deferredFn func(r []int64) bool // non-nil for deferred constraints
-	temp       bool                 // optimizer temp assignment
-	level      int                  // Stats temp-counter index (step depth + 1)
-	tempRefs   int64                // temp-slot reads in this step's expression
+	check        bool
+	slot         int // assign target
+	fn           intFn
+	statsID      int
+	deferredFn   func(r []int64) bool // non-nil for deferred constraints
+	temp         bool                 // optimizer temp assignment
+	level        int                  // Stats temp-counter index (step depth + 1)
+	tempRefs     int64                // temp-slot reads in this step's expression
+	tabIdx       int                  // plan table index, -1 for the expression path
+	tabOuterSlot int                  // binary-table outer register, -1 for unary
 }
 
 // compiledDomain enumerates values against the raw register file.
@@ -232,6 +234,15 @@ func (c *Compiled) compileSteps(steps []plan.Step) ([]compiledStep, error) {
 		cs := compiledStep{
 			check: st.Kind == plan.CheckStep, slot: st.Slot, statsID: st.StatsID,
 			temp: st.Temp, level: st.Depth + 1, tempRefs: int64(st.TempRefs),
+			tabIdx: -1, tabOuterSlot: -1,
+		}
+		if tab := c.prog.Tab; tab != nil && cs.check {
+			if ti, ok := tab.ByStats[st.StatsID]; ok {
+				cs.tabIdx = ti
+				if t := tab.Tables[ti]; t.Kind == plan.BinaryTable {
+					cs.tabOuterSlot = t.OuterSlot
+				}
+			}
 		}
 		if cs.check && st.Constraint.Deferred() {
 			cn := st.Constraint
@@ -517,6 +528,7 @@ type compiledState struct {
 	tuple      []int64
 	tupleSlots []int          // emission registers, source declaration order
 	chunk      *compiledChunk // non-nil when the innermost loop runs chunked
+	tabx       *tabExec       // non-nil when the plan tabulated constraints
 }
 
 func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
@@ -538,6 +550,9 @@ func (c *Compiled) newState(opts Options, ctl *runCtl) *compiledState {
 		if ch, err := c.newChunk(size); err == nil {
 			state.chunk = ch
 		}
+	}
+	if c.prog.Tab != nil {
+		state.tabx = newTabExec(c.prog.Tab)
 	}
 	return state
 }
@@ -614,11 +629,20 @@ func (s *compiledState) steps(steps []compiledStep) (ok, rejected bool) {
 			continue
 		}
 		s.stats.Checks[st.statsID]++
-		var kill bool
-		if st.deferredFn != nil {
-			kill = st.deferredFn(s.reg)
-		} else {
-			kill = st.fn(s.reg) != 0
+		var kill, tabbed bool
+		if st.tabIdx >= 0 && s.tabx != nil {
+			var outer int64
+			if st.tabOuterSlot >= 0 {
+				outer = s.reg[st.tabOuterSlot]
+			}
+			kill, tabbed = s.tabx.scalarKill(st.tabIdx, s.reg[s.tabx.tab.InnerSlot], outer, s.stats)
+		}
+		if !tabbed {
+			if st.deferredFn != nil {
+				kill = st.deferredFn(s.reg)
+			} else {
+				kill = st.fn(s.reg) != 0
+			}
 		}
 		if kill {
 			s.stats.Kills[st.statsID]++

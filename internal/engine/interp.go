@@ -260,14 +260,16 @@ func spanMap(r *space.RangeDomain, env ienv) (start, stop, step int64, ok bool) 
 }
 
 type interpState struct {
-	in    *Interp
-	env   ienv
-	stats *Stats
-	opts  Options
-	ctl   *runCtl
-	tuple []int64
-	names []string     // tuple emission names, source declaration order
-	chunk *interpChunk // non-nil when the innermost loop may run chunked
+	in     *Interp
+	env    ienv
+	stats  *Stats
+	opts   Options
+	ctl    *runCtl
+	tuple  []int64
+	names  []string     // tuple emission names, source declaration order
+	chunk  *interpChunk // non-nil when the innermost loop may run chunked
+	tabx   *tabExec     // non-nil when the plan tabulated constraints
+	tabIdx [][]int      // per-depth step → table index (-1 expression path)
 
 	// Reused scratch, so the hot loop stops allocating: deferred-call
 	// argument values, per-depth ProtoRange value lists, per-depth
@@ -306,6 +308,13 @@ func (in *Interp) newState(opts Options, ctl *runCtl) *interpState {
 	if size := normChunk(opts.ChunkSize); size > 1 {
 		st.chunk = in.newChunk(size)
 	}
+	if in.prog.Tab != nil {
+		st.tabx = newTabExec(in.prog.Tab)
+		st.tabIdx = make([][]int, len(in.prog.Loops))
+		for d := range in.prog.Loops {
+			st.tabIdx[d] = tabStepIndex(in.prog, d)
+		}
+	}
 	return st
 }
 
@@ -340,7 +349,7 @@ func (s *interpState) iterArgs(d int, lp *plan.Loop) []expr.Value {
 func (in *Interp) runFull(opts Options, ctl *runCtl) (st *Stats, err error) {
 	defer recoverRunError(&err)
 	state := in.newState(opts, ctl)
-	ok, rejected := state.steps(in.prog.Prelude)
+	ok, rejected := state.steps(in.prog.Prelude, nil)
 	if rejected || !ok {
 		return state.stats, nil
 	}
@@ -397,8 +406,10 @@ func (w *interpWorker) runTile(prefix []int64) (err error) {
 }
 
 // steps executes a step list; it reports (continueEnumeration,
-// constraintRejected).
-func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
+// constraintRejected). tabIdx maps each step to its plan table (-1 =
+// expression path, nil = no tables at this depth), precomputed so the
+// hot loop never consults the ByStats map.
+func (s *interpState) steps(steps []plan.Step, tabIdx []int) (ok, rejected bool) {
 	for i := range steps {
 		st := &steps[i]
 		if st.TempRefs > 0 {
@@ -412,11 +423,22 @@ func (s *interpState) steps(steps []plan.Step) (ok, rejected bool) {
 			continue
 		}
 		s.stats.Checks[st.StatsID]++
-		var kill bool
-		if st.Constraint.Deferred() {
-			kill = st.Constraint.Fn(s.deferredArgs(st.Constraint.DeclaredDeps))
-		} else {
-			kill = evalMap(st.Expr, s.env).Truthy()
+		var kill, tabbed bool
+		if tabIdx != nil && tabIdx[i] >= 0 {
+			ti := tabIdx[i]
+			t := s.tabx.tab.Tables[ti]
+			var outer int64
+			if t.Kind == plan.BinaryTable {
+				outer = s.env[t.OuterName].I
+			}
+			kill, tabbed = s.tabx.scalarKill(ti, s.env[s.tabx.tab.InnerName].I, outer, s.stats)
+		}
+		if !tabbed {
+			if st.Constraint.Deferred() {
+				kill = st.Constraint.Fn(s.deferredArgs(st.Constraint.DeclaredDeps))
+			} else {
+				kill = evalMap(st.Expr, s.env).Truthy()
+			}
 		}
 		if kill {
 			s.stats.Kills[st.StatsID]++
@@ -458,7 +480,11 @@ func (s *interpState) body(d int, v int64) bool {
 	lp := s.in.prog.Loops[d]
 	s.env[lp.Iter.Name] = expr.IntVal(v)
 	s.stats.LoopVisits[d]++
-	ok, rejected := s.steps(lp.Steps)
+	var tabIdx []int
+	if s.tabIdx != nil {
+		tabIdx = s.tabIdx[d]
+	}
+	ok, rejected := s.steps(lp.Steps, tabIdx)
 	if !ok {
 		return false
 	}

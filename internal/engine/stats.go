@@ -95,6 +95,22 @@ type Stats struct {
 	SplitDepth int
 	Tiles      int
 
+	// TabulatedChecks counts constraint evaluations served from the
+	// plan-time bitset tables instead of the expression evaluator, and
+	// RowCacheHits counts binary-table row-cache hits. Like
+	// ChunksEvaluated they are mode- and schedule-dependent (scalar vs
+	// chunked lanes, early-stop rewinds do not subtract them), so
+	// comparisons across modes must exclude them; the pruning counters
+	// above stay bit-identical with tabulation on or off.
+	TabulatedChecks int64
+	RowCacheHits    int64
+
+	// TableBytes is the byte budget the plan committed to constraint
+	// tables (unary bitsets plus binary row-cache capacity). Plan
+	// metadata copied at construction, not a counter: Merge leaves it
+	// alone.
+	TableBytes int64
+
 	// ReorderApplied reports that the plan-time loop-order optimizer
 	// replaced the declared nest (plan.ReorderInfo), and EstimatedVisits
 	// is its cost-model prediction for the chosen order. Plan metadata
@@ -120,6 +136,9 @@ func NewStats(prog *plan.Program) *Stats {
 			s.EstimatedVisits = int64(ri.EstimatedVisits)
 		}
 	}
+	if tab := prog.Tab; tab != nil {
+		s.TableBytes = tab.TableBytes
+	}
 	return s
 }
 
@@ -142,6 +161,8 @@ func (s *Stats) Merge(other *Stats) {
 	}
 	s.ChunksEvaluated += other.ChunksEvaluated
 	s.LanesMasked += other.LanesMasked
+	s.TabulatedChecks += other.TabulatedChecks
+	s.RowCacheHits += other.RowCacheHits
 	s.Survivors += other.Survivors
 	s.Stopped = s.Stopped || other.Stopped
 }
@@ -167,6 +188,8 @@ func (s *Stats) MergeDelta(cur, prev *Stats) {
 	}
 	s.ChunksEvaluated += cur.ChunksEvaluated - prev.ChunksEvaluated
 	s.LanesMasked += cur.LanesMasked - prev.LanesMasked
+	s.TabulatedChecks += cur.TabulatedChecks - prev.TabulatedChecks
+	s.RowCacheHits += cur.RowCacheHits - prev.RowCacheHits
 	s.Survivors += cur.Survivors - prev.Survivors
 }
 
@@ -182,6 +205,8 @@ func (s *Stats) copyCountersFrom(other *Stats) {
 	copy(s.IterationsSkipped, other.IterationsSkipped)
 	s.ChunksEvaluated = other.ChunksEvaluated
 	s.LanesMasked = other.LanesMasked
+	s.TabulatedChecks = other.TabulatedChecks
+	s.RowCacheHits = other.RowCacheHits
 	s.Survivors = other.Survivors
 }
 
@@ -364,6 +389,10 @@ func (s *Stats) FunnelReport(prog *plan.Program) string {
 		fmt.Fprintf(&b, "loop order: %s  (reordered from %s; est. visits %.3g vs %.3g declared)\n",
 			strings.Join(ri.Chosen, ","), strings.Join(ri.Declared, ","),
 			ri.EstimatedVisits, ri.DeclaredVisits)
+	}
+	if s.TabulatedChecks > 0 {
+		fmt.Fprintf(&b, "constraint tabulation: %d checks served from %d table bytes, %d row-cache hits\n",
+			s.TabulatedChecks, s.TableBytes, s.RowCacheHits)
 	}
 	return b.String()
 }

@@ -87,6 +87,7 @@ const (
 	opTempEval // stats.TempEvals[a]++ (optimizer temp assignment executed)
 	opTempHits // stats.TempHits[a] += b (temp-slot reads in the step just run)
 	opNarrow   // narrows[a]: tighten the freshly prepped loop range in place
+	opTabChk   // tabulated check: test table a's pass bit; stats.Checks[c]++; killed -> pc = b
 
 	// Chunked-innermost superinstructions: drive the whole innermost loop
 	// from the prepped range registers (or a materialized list buffer),
@@ -291,7 +292,7 @@ func (a *vmAssembler) patch(at int32, target int32) {
 		in.a = target
 	case opForTest, opForIncr, opForList, opListInc:
 		in.d = target
-	case opCheck, opHostChk:
+	case opCheck, opHostChk, opTabChk:
 		in.b = target
 	default:
 		a.fail(fmt.Errorf("vm: cannot patch op %d", in.op))
@@ -442,6 +443,14 @@ func (a *vmAssembler) emitStep(st plan.Step, _ int32) int32 {
 	if st.Constraint.Deferred() {
 		idx := a.addDeferred(st)
 		return a.emit(instr{op: opHostChk, a: idx})
+	}
+	// Value-indexed tabulated checks test a single precomputed pass bit
+	// instead of evaluating the expression (position-indexed tables have
+	// no scalar cursor and stay chunk-only; see tabulate.go).
+	if tab := a.vm.prog.Tab; tab != nil && tab.ValueIndexed {
+		if ti, ok := tab.ByStats[st.StatsID]; ok {
+			return a.emit(instr{op: opTabChk, a: int32(ti), c: int32(st.StatsID)})
+		}
 	}
 	a.emitExpr(st.Expr)
 	return a.emit(instr{op: opCheck, a: int32(st.StatsID)})
@@ -687,6 +696,7 @@ type vmExec struct {
 	opts       Options
 	ctl        *runCtl
 	chunkState *vmChunkState // non-nil iff code.chunk is
+	tabx       *tabExec      // non-nil when the plan tabulated constraints
 }
 
 func newVMExec(vm *VM, code *vmCode, opts Options, ctl *runCtl) *vmExec {
@@ -708,6 +718,9 @@ func newVMExec(vm *VM, code *vmCode, opts Options, ctl *runCtl) *vmExec {
 	}
 	if code.chunk != nil {
 		x.chunkState = newVMChunkState(code.chunk)
+	}
+	if vm.prog.Tab != nil {
+		x.tabx = newTabExec(vm.prog.Tab)
 	}
 	return x
 }
@@ -916,6 +929,23 @@ func (x *vmExec) run() {
 			stats.TempEvals[in.a]++
 		case opTempHits:
 			stats.TempHits[in.a] += int64(in.b)
+		case opTabChk:
+			tx := x.tabx
+			t := tx.tab.Tables[in.a]
+			var outer int64
+			if t.Kind == plan.BinaryTable {
+				outer = reg[t.OuterSlot]
+			}
+			stats.Checks[in.c]++
+			kill, ok := tx.scalarKill(int(in.a), reg[tx.tab.InnerSlot], outer, stats)
+			if !ok {
+				// Value off the table grid: cold fallback to the predicate.
+				kill = tx.predKill(int(in.a), reg)
+			}
+			if kill {
+				stats.Kills[in.c]++
+				pc = in.b
+			}
 		case opNarrow:
 			nw := &code.narrows[in.a]
 			if step := reg[nw.stepReg]; step > 0 {
@@ -929,6 +959,7 @@ func (x *vmExec) run() {
 		case opChunkRange:
 			cs := x.chunkState
 			cs.n = 0
+			cs.pushed = 0
 			start, stop, step := reg[in.a], reg[in.b], reg[in.c]
 			if step > 0 {
 				for v := start; v < stop; v += step {
@@ -948,6 +979,7 @@ func (x *vmExec) run() {
 			}
 		case opChunkList:
 			x.chunkState.n = 0
+			x.chunkState.pushed = 0
 			for _, v := range bufs[in.a] {
 				if !x.pushChunk(v) {
 					return

@@ -181,6 +181,18 @@ type Program struct {
 	// declared vs. chosen order. nil when reordering was disabled, a manual
 	// Order was given, or the space is out of the optimizer's scope.
 	Reorder *ReorderInfo
+
+	// Tab is the constraint-table set (see tabulate.go): innermost
+	// pruning checks precomputed into pass bitsets the evaluators AND
+	// into the survivor mask. nil when tabulation is disabled or nothing
+	// qualified.
+	Tab *Tabulation
+
+	// TabDisabled records Options.DisableTabulation. The tables
+	// themselves are derived data (kill counts are bit-identical either
+	// way), so only this flag — not the table contents — enters
+	// Describe and thus the checkpoint fingerprint.
+	TabDisabled bool
 }
 
 // Options control plan compilation.
@@ -220,6 +232,16 @@ type Options struct {
 	// per-constraint kill counts legitimately shift with the order.
 	// Exists for the reorder ablation. A non-nil Order implies it.
 	DisableReorder bool
+
+	// DisableTabulation skips the constraint-tabulation pass
+	// (tabulate.go): every pruning check keeps evaluating its
+	// expression. Survivors and per-constraint kill counts are
+	// unchanged either way. Exists for the tabulation ablation.
+	DisableTabulation bool
+
+	// TabulateBudget bounds the bytes committed to constraint tables;
+	// zero means DefaultTabulateBudget.
+	TabulateBudget int64
 }
 
 // Compile builds the Program for s. Unless opts disables it (or fixes an
@@ -571,6 +593,12 @@ func compile(s *space.Space, opts Options) (*Program, error) {
 	// Chunk layout comes last so the lane set includes optimizer temps
 	// and the Vec marks see the final (CSE-rewritten) step expressions.
 	computeVector(prog)
+	// Constraint tabulation reads the Vec marks, so it runs after the
+	// chunk layout.
+	prog.TabDisabled = opts.DisableTabulation
+	if !opts.DisableTabulation {
+		tabulate(prog, opts.TabulateBudget)
+	}
 
 	return prog, nil
 }
@@ -823,6 +851,11 @@ func (p *Program) Describe() string {
 			}
 			return ""
 		}
+	}
+	if p.TabDisabled {
+		// The tables are derived data; only the ablation flag changes
+		// the plan identity (and thus checkpoint fingerprints).
+		b.WriteString("tabulation: off\n")
 	}
 	if len(p.Prelude) > 0 {
 		b.WriteString("prelude:\n")

@@ -706,9 +706,10 @@ func maxI64(a, b int64) int64 {
 // rely on identical tuple streams across those combos.
 func probeOptions(opts Options) Options {
 	return Options{
-		DisableFolding:   opts.DisableFolding,
-		DisableCSE:       true,
-		DisableNarrowing: true,
-		DisableReorder:   true,
+		DisableFolding:    opts.DisableFolding,
+		DisableCSE:        true,
+		DisableNarrowing:  true,
+		DisableReorder:    true,
+		DisableTabulation: true,
 	}
 }

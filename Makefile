@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchjson bench-compare profile vet fmt examples artifacts gensweep clean
+.PHONY: all build test test-short race bench benchjson bench-compare profile vet lint lint-specs asan-smoke fmt examples artifacts gensweep clean
 
 all: build test
 
@@ -53,6 +53,42 @@ profile:
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: vet always; staticcheck and govulncheck when
+# installed (CI installs them, local runs degrade gracefully); then the
+# spec linter over every committed example spec.
+lint: vet lint-specs
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Run `spacegen -lint -Werror` over every committed .bst spec: a
+# contradiction, dead constraint, or unused iterator in an example fails
+# the build.
+lint-specs:
+	@$(GO) build -o /tmp/beast-spacegen ./cmd/spacegen
+	@status=0; \
+	for spec in $$(find examples -name '*.bst'); do \
+		echo "lint $$spec"; \
+		/tmp/beast-spacegen -spec $$spec -lint -Werror || status=1; \
+	done; \
+	exit $$status
+
+# Compile the generated C sweep under ASan+UBSan and run it: memory and
+# undefined-behaviour smoke over the codegen backend.
+asan-smoke:
+	@command -v gcc >/dev/null 2>&1 || { echo "gcc not installed; skipping"; exit 0; }
+	$(GO) run ./cmd/spacegen -gemm dgemm_nn -scale 16 -lang c -c-main -o /tmp/beast_asan_sweep.c
+	gcc -O1 -g -fsanitize=address,undefined -fno-omit-frame-pointer \
+		-o /tmp/beast_asan_sweep /tmp/beast_asan_sweep.c
+	/tmp/beast_asan_sweep
 
 fmt:
 	gofmt -w .

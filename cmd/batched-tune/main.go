@@ -40,6 +40,7 @@ func main() {
 		noReorder = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		noTab     = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
 		tabBudget = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
+		verify    = flag.Bool("verify", false, "run the IR invariant checker on every compiled plan (debug)")
 		orderSpec = flag.String("order", "", "comma-separated loop order, e.g. nb,dim_x,mpb,unroll (implies -no-reorder; must respect domain dependencies)")
 		ckptPath  = flag.String("checkpoint", "", "snapshot tuning progress to this file (single -sizes value only; resume with -resume)")
 		resumeP   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (single -sizes value only)")
@@ -53,6 +54,7 @@ func main() {
 		DisableTabulation: *noTab,
 		TabulateBudget:    *tabBudget,
 		Order:             splitOrder(*orderSpec),
+		Verify:            *verify,
 	}
 
 	var dev *device.Properties

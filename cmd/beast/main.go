@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/checkpoint"
 	"repro/internal/cli"
 	"repro/internal/device"
@@ -59,6 +60,9 @@ func main() {
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
 		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
+		lint       = flag.Bool("lint", false, "run the static analyzer over the space, print diagnostics, and exit (status 2 on error-severity findings)")
+		werror     = flag.Bool("Werror", false, "with -lint, promote warnings to errors")
+		verify     = flag.Bool("verify", false, "run the IR invariant checker on the compiled plan before executing it (debug)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		ckptPath   = flag.String("checkpoint", "", "snapshot enumeration progress to this file (resume with -resume)")
 		resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint file")
@@ -79,6 +83,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *lint {
+		runLint(s, *specPath, *tabBudget, *werror)
+		return
+	}
 	if *format {
 		text, err := speclang.Format(s)
 		if err != nil {
@@ -97,6 +105,7 @@ func main() {
 		DisableTabulation: *noTabulate,
 		TabulateBudget:    *tabBudget,
 		Order:             splitOrder(*orderSpec),
+		Verify:            *verify,
 	})
 	if err != nil {
 		fail(err)
@@ -291,6 +300,22 @@ func pickProtocol(name string) (engine.Protocol, error) {
 		return engine.ProtoRepeat, nil
 	default:
 		return 0, cli.Usagef("unknown protocol %q", name)
+	}
+}
+
+// runLint prints the analyzer's diagnostics for s and exits 2 when the
+// findings fail the run (any error, or any warning under -Werror).
+func runLint(s *space.Space, file string, tabBudget int64, werror bool) {
+	if file == "" {
+		file = "<space>"
+	}
+	rep, err := analyze.Analyze(s, analyze.Options{TabulateBudget: tabBudget})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep.Render(file))
+	if rep.Fails(werror) {
+		cli.Exit(cli.ExitUsage)
 	}
 }
 

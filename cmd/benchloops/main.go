@@ -27,8 +27,10 @@ func main() {
 		total    = flag.Int64("total", 100_000_000, "total innermost iterations")
 		backend  = flag.String("backend", "all", "interp, vm, native, or all")
 		maxDepth = flag.Int("max-depth", loopbench.MaxDepth, "deepest nest to run")
+		verify   = flag.Bool("verify", false, "run the IR invariant checker on every compiled plan (debug)")
 	)
 	flag.Parse()
+	verifyPlans = *verify
 
 	fmt.Printf("%-22s %-8s %6s %14s %10s %12s\n",
 		"series", "variant", "depth", "iterations", "seconds", "Mit/s")
@@ -127,8 +129,11 @@ func figure19(total int64, maxDepth int) {
 	}
 }
 
+// verifyPlans mirrors the -verify flag for the compile helper below.
+var verifyPlans bool
+
 func compile(depth int, total int64) *plan.Program {
-	prog, err := plan.Compile(loopbench.Space(depth, total), plan.Options{})
+	prog, err := plan.Compile(loopbench.Space(depth, total), plan.Options{Verify: verifyPlans})
 	if err != nil {
 		fail(err)
 	}

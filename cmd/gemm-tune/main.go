@@ -57,6 +57,7 @@ func main() {
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: keep the declared nest (ablation)")
 		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: checks evaluate expressions instead of bitset lookup tables (ablation)")
 		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables (unary bitsets plus binary row caches)")
+		verify     = flag.Bool("verify", false, "run the IR invariant checker on every compiled plan (debug)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		ckptPath   = flag.String("checkpoint", "", "snapshot exhaustive-tuning progress to this file (resume with -resume)")
 		resumePath = flag.String("resume", "", "resume an interrupted exhaustive run from this checkpoint file")
@@ -72,6 +73,7 @@ func main() {
 		DisableTabulation: *noTabulate,
 		TabulateBudget:    *tabBudget,
 		Order:             splitOrder(*orderSpec),
+		Verify:            *verify,
 	}
 
 	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/device"
@@ -49,6 +50,9 @@ func main() {
 		noReorder  = flag.Bool("no-reorder", false, "disable the selectivity-driven loop-order optimizer: emit the declared nest (ablation)")
 		noTabulate = flag.Bool("no-tabulate", false, "disable plan-time constraint tabulation: emitted checks evaluate expressions instead of bitset lookup tables (ablation)")
 		tabBudget  = flag.Int64("tabulate-budget", plan.DefaultTabulateBudget, "byte budget for constraint tables in the emitted code")
+		lint       = flag.Bool("lint", false, "run the static analyzer over the space, print diagnostics, and exit (status 2 on error-severity findings)")
+		werror     = flag.Bool("Werror", false, "with -lint, promote warnings to errors")
+		verify     = flag.Bool("verify", false, "run the IR invariant checker on the compiled plan before emitting code (debug)")
 		orderSpec  = flag.String("order", "", "comma-separated loop order, e.g. i,j,k (implies -no-reorder; must respect domain dependencies)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		writeGS    = flag.Bool("write-gensweep", false, "regenerate internal/gensweep/*_gen.go and exit")
@@ -66,6 +70,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *lint {
+		file := *specPath
+		if file == "" {
+			file = "<space>"
+		}
+		rep, err := analyze.Analyze(s, analyze.Options{TabulateBudget: *tabBudget})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Render(file))
+		if rep.Fails(*werror) {
+			cli.Exit(cli.ExitUsage)
+		}
+		return
+	}
 	prog, err := plan.Compile(s, plan.Options{
 		DisableCSE:        *noCSE,
 		DisableNarrowing:  *noNarrow,
@@ -73,6 +92,7 @@ func main() {
 		DisableTabulation: *noTabulate,
 		TabulateBudget:    *tabBudget,
 		Order:             splitOrder(*orderSpec),
+		Verify:            *verify,
 	})
 	if err != nil {
 		fail(err)

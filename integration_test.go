@@ -1,6 +1,7 @@
 package beast
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -89,6 +90,108 @@ func TestCmdSpacegenRoundTrip(t *testing.T) {
 	out = runCmd(t, "./cmd/spacegen", "-gemm", "dgemm_nn", "-scale", "32", "-lang", "c")
 	if !strings.Contains(out, "cant_reshape_a1") {
 		t.Error("GEMM C missing correctness constraint")
+	}
+}
+
+// buildCmd compiles one of the repository's commands into dir and returns
+// the binary path. `go run` cannot be used for exit-code assertions: it
+// collapses every child failure to its own exit status 1.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("command integration tests skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// runBinExpectExit runs bin expecting a specific exit code.
+func runBinExpectExit(t *testing.T, wantCode int, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Fatalf("%s %v: exit code %d, want %d\n%s", bin, args, code, wantCode, out)
+	}
+	return string(out)
+}
+
+func TestCmdLintContract(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "contra.bst")
+	src := `i = range(1, 10)
+constraint hard need_big:   i < 6
+constraint hard need_small: i >= 3
+constraint hard dead:       i > 100
+`
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Error-severity findings exit 2, and each diagnostic carries its code
+	// and the source span of the offending constraint declaration.
+	for _, tool := range []string{"spacegen", "beast"} {
+		bin := buildCmd(t, dir, tool)
+		out := runBinExpectExit(t, 2, bin, "-spec", bad, "-lint")
+		for _, want := range []string{
+			bad + ":3:17: error[E001]",
+			bad + ":4:17: warning[W101]",
+			"lint: 1 error(s), 1 warning(s)",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s -lint output missing %q:\n%s", tool, want, out)
+			}
+		}
+	}
+
+	spacegen := filepath.Join(dir, "spacegen")
+	clean := filepath.Join(dir, "clean.bst")
+	if err := os.WriteFile(clean, []byte("i = range(1, 10)\nj = range(1, 10)\nconstraint hard c: i * j > 50\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runBinExpectExit(t, 0, spacegen, "-spec", clean, "-lint")
+	if !strings.Contains(out, "lint: 0 error(s), 0 warning(s)") {
+		t.Errorf("clean lint output:\n%s", out)
+	}
+
+	// -Werror promotes warnings: an unused iterator alone flips the exit.
+	warn := filepath.Join(dir, "warn.bst")
+	if err := os.WriteFile(warn, []byte("i = range(1, 10)\nj = range(1, 10)\nconstraint hard c: i > 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runBinExpectExit(t, 0, spacegen, "-spec", warn, "-lint")
+	if !strings.Contains(out, "warning[W104]") {
+		t.Errorf("want W104 without -Werror:\n%s", out)
+	}
+	runBinExpectExit(t, 2, spacegen, "-spec", warn, "-lint", "-Werror")
+}
+
+func TestCmdVerifyFlag(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "space.bst")
+	if err := os.WriteFile(spec, []byte("x = range(0, 8)\nconstraint soft odd: x % 2 == 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "./cmd/beast", "-spec", spec, "-describe", "-verify")
+	if !strings.Contains(out, "for x in range(0, 8)") {
+		t.Errorf("-verify describe output:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/spacegen", "-spec", spec, "-lang", "go", "-verify")
+	if !strings.Contains(out, "func Enumerate(") {
+		t.Errorf("-verify codegen output:\n%s", out)
 	}
 }
 

@@ -51,6 +51,16 @@ func Usage(tool string, err error) {
 	exit(tool, err, ExitUsage)
 }
 
+// Exit runs the registered cleanups, flushes stdout, and exits with code.
+// It is the silent variant of Fail/Usage for paths that have already
+// printed their report — notably -lint, whose diagnostics go to stdout
+// and whose exit code (2 on error-severity findings) is the contract.
+func Exit(code int) {
+	runAtExit()
+	os.Stdout.Sync()
+	os.Exit(code)
+}
+
 func exit(tool string, err error, code int) {
 	runAtExit()
 	os.Stdout.Sync()

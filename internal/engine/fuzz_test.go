@@ -11,6 +11,15 @@ import (
 	"repro/internal/space"
 )
 
+// verified turns on the IR invariant checker for a fuzz-grid compile:
+// every plan the grids produce doubles as a Program.Verify test vector,
+// so a malformed plan fails loudly instead of showing up as survivor
+// drift.
+func verified(opts plan.Options) plan.Options {
+	opts.Verify = true
+	return opts
+}
+
 // randomSpace builds a pseudo-random but well-formed search space:
 // 2-4 iterators with assorted domain shapes whose bounds may reference
 // earlier iterators, 0-2 derived variables, and 0-3 constraints over
@@ -128,7 +137,7 @@ func TestFuzzCrossEngine(t *testing.T) {
 		if err := s.Validate(); err != nil {
 			t.Fatalf("trial %d: invalid random space: %v", trial, err)
 		}
-		prog, err := plan.Compile(s, plan.Options{})
+		prog, err := plan.Compile(s, verified(plan.Options{}))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -183,7 +192,7 @@ func TestFuzzCrossEngine(t *testing.T) {
 			{"nonarrow+nocse", plan.Options{DisableNarrowing: true, DisableCSE: true}, true},
 		}
 		for _, c := range combos {
-			progC, err := plan.Compile(s, c.opts)
+			progC, err := plan.Compile(s, verified(c.opts))
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, c.label, err)
 			}

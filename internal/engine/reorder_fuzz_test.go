@@ -78,7 +78,7 @@ func TestFuzzReorderGrid(t *testing.T) {
 
 		// The declared nest is the reference: compile it first to size the
 		// space and derive the adversarial order from its DAG.
-		declProg, err := plan.Compile(s, plan.Options{DisableReorder: true})
+		declProg, err := plan.Compile(s, verified(plan.Options{DisableReorder: true}))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -104,7 +104,7 @@ func TestFuzzReorderGrid(t *testing.T) {
 			{"manual-adversarial", plan.Options{Order: adversarialOrder(declProg)}},
 		}
 		for _, m := range modes {
-			prog, err := plan.Compile(s, m.opts)
+			prog, err := plan.Compile(s, verified(m.opts))
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, m.label, err)
 			}
@@ -164,7 +164,7 @@ func TestReorderManualOrderRejectsDAGViolation(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 50; trial++ {
 		s := randomSpace(rng)
-		prog, err := plan.Compile(s, plan.Options{DisableReorder: true})
+		prog, err := plan.Compile(s, verified(plan.Options{DisableReorder: true}))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

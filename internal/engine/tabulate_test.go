@@ -42,14 +42,14 @@ func tabSpace(t *testing.T) *space.Space {
 // the budget must not perturb checkpoint fingerprints).
 func TestTabulateStatsAndAblation(t *testing.T) {
 	s := tabSpace(t)
-	progOn, err := plan.Compile(s, plan.Options{DisableReorder: true})
+	progOn, err := plan.Compile(s, verified(plan.Options{DisableReorder: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if progOn.Tab == nil || len(progOn.Tab.Tables) != 2 {
 		t.Fatalf("expected 2 tables, got %+v", progOn.Tab)
 	}
-	progOff, err := plan.Compile(s, plan.Options{DisableReorder: true, DisableTabulation: true})
+	progOff, err := plan.Compile(s, verified(plan.Options{DisableReorder: true, DisableTabulation: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestTabulateStatsAndAblation(t *testing.T) {
 	// A different budget must not change the plan description either:
 	// checkpoint fingerprints hash it, and resumes across budget changes
 	// are legal because kill counts are identical.
-	progSmall, err := plan.Compile(s, plan.Options{DisableReorder: true, TabulateBudget: 64})
+	progSmall, err := plan.Compile(s, verified(plan.Options{DisableReorder: true, TabulateBudget: 64}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestTabulateSkipsUnamortizedBinary(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	prog, err := plan.Compile(s, plan.Options{DisableReorder: true})
+	prog, err := plan.Compile(s, verified(plan.Options{DisableReorder: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestFuzzTabulateGrid(t *testing.T) {
 		for _, c := range combos {
 			offOpts := c.opts
 			offOpts.DisableTabulation = true
-			progOff, err := plan.Compile(s, offOpts)
+			progOff, err := plan.Compile(s, verified(offOpts))
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, c.label, err)
 			}
@@ -210,7 +210,7 @@ func TestFuzzTabulateGrid(t *testing.T) {
 			if wantStats.TabulatedChecks != 0 {
 				t.Fatalf("trial %d %s: baseline ran with tables", trial, c.label)
 			}
-			progOn, err := plan.Compile(s, c.opts)
+			progOn, err := plan.Compile(s, verified(c.opts))
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, c.label, err)
 			}

@@ -95,6 +95,20 @@ type Probe struct {
 // in place: narrowed loops get a non-nil Bounds and lose their
 // fully-absorbed check steps.
 func compileBounds(prog *Program) {
+	bc := newBoundsCtx(prog)
+	// Outermost to innermost: narrow this loop against the intervals of
+	// everything bound outside it, then bind its own interval (and its
+	// body assignments') for the deeper levels.
+	for d, lp := range prog.Loops {
+		bc.tryNarrow(d, lp)
+		bc.bindLoop(lp)
+	}
+}
+
+// newBoundsCtx seeds an interval/taint context with everything known
+// before the outermost loop opens: setting values and prelude assignments.
+// Loop levels are bound one at a time with bindLoop, outermost first.
+func newBoundsCtx(prog *Program) *boundsCtx {
 	bc := &boundsCtx{
 		prog:     prog,
 		taint:    make(map[int]bool),
@@ -130,22 +144,21 @@ func compileBounds(prog *Program) {
 			bc.slotIval[st.Slot] = bc.intervalOf(st.Expr)
 		}
 	}
+	return bc
+}
 
-	// Outermost to innermost: narrow this loop against the intervals of
-	// everything bound outside it, then bind its own interval (and its
-	// body assignments') for the deeper levels.
-	for d, lp := range prog.Loops {
-		bc.tryNarrow(d, lp)
-		if lp.Iter.Kind == space.ExprIter && lp.Domain != nil {
-			bc.slotIval[lp.Slot] = bc.domainIval(lp.Domain)
-		} else {
-			bc.slotIval[lp.Slot] = topIval
-		}
-		for i := range lp.Steps {
-			st := &lp.Steps[i]
-			if st.Kind == AssignStep && st.Expr != nil {
-				bc.slotIval[st.Slot] = bc.intervalOf(st.Expr)
-			}
+// bindLoop binds the interval of one loop's variable (its domain hull)
+// and of its body assignments, making them visible to deeper levels.
+func (bc *boundsCtx) bindLoop(lp *Loop) {
+	if lp.Iter.Kind == space.ExprIter && lp.Domain != nil {
+		bc.slotIval[lp.Slot] = bc.domainIval(lp.Domain)
+	} else {
+		bc.slotIval[lp.Slot] = topIval
+	}
+	for i := range lp.Steps {
+		st := &lp.Steps[i]
+		if st.Kind == AssignStep && st.Expr != nil {
+			bc.slotIval[st.Slot] = bc.intervalOf(st.Expr)
 		}
 	}
 }

@@ -1,0 +1,101 @@
+// Canonical-form hashing of bound expressions. One Canon instance hands
+// out stable string keys: structurally identical subtrees produce equal
+// keys, with references keyed by environment slot so two spellings of the
+// same variable compare equal after binding. The expression optimizer
+// (optimize.go) drives CSE with it, and the static analyzer
+// (internal/analyze) reuses it to detect duplicate and subsumed
+// constraints — both see the same notion of expression identity.
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Canon assigns canonical keys to expressions. Keys are comparable only
+// within one instance: Table2D identities and opaque node numbering are
+// per-instance state. The zero value is not usable; call NewCanon.
+type Canon struct {
+	memo map[expr.Expr]string
+
+	// tables registers Table2D identities for canonical keys.
+	tables []*expr.Table2D
+
+	// opaque numbers unknown node types so they never compare equal.
+	opaque int
+}
+
+// NewCanon returns an empty canonicalizer.
+func NewCanon() *Canon {
+	return &Canon{memo: make(map[expr.Expr]string)}
+}
+
+// Key returns the canonical string for e.
+func (c *Canon) Key(e expr.Expr) string {
+	if k, ok := c.memo[e]; ok {
+		return k
+	}
+	var k string
+	switch n := e.(type) {
+	case *expr.Lit:
+		switch n.V.K {
+		case expr.Str:
+			k = "s:" + strconv.Quote(n.V.S)
+		case expr.Bool:
+			k = fmt.Sprintf("b:%d", n.V.I)
+		default:
+			k = fmt.Sprintf("i:%d", n.V.I)
+		}
+	case *expr.Ref:
+		k = fmt.Sprintf("r%d", n.Slot)
+	case *expr.Unary:
+		k = fmt.Sprintf("(u%d %s)", n.Op, c.Key(n.X))
+	case *expr.Binary:
+		k = fmt.Sprintf("(o%d %s %s)", n.Op, c.Key(n.L), c.Key(n.R))
+	case *expr.Ternary:
+		k = fmt.Sprintf("(t %s %s %s)", c.Key(n.Cond), c.Key(n.Then), c.Key(n.Else))
+	case *expr.Call:
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = c.Key(a)
+		}
+		k = fmt.Sprintf("(c:%s %s)", n.Fn, strings.Join(parts, " "))
+	case *expr.Table2D:
+		k = fmt.Sprintf("(T%d %s %s)", c.tableIndex(n), c.Key(n.Row), c.Key(n.Col))
+	default:
+		c.opaque++
+		k = fmt.Sprintf("?%d", c.opaque)
+	}
+	c.memo[e] = k
+	return k
+}
+
+func (c *Canon) tableIndex(t *expr.Table2D) int {
+	for i, u := range c.tables {
+		if u == t || (u.Name == t.Name && sameTableData(u.Data, t.Data)) {
+			return i
+		}
+	}
+	c.tables = append(c.tables, t)
+	return len(c.tables) - 1
+}
+
+func sameTableData(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -37,8 +37,6 @@ package plan
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/expr"
 )
@@ -52,7 +50,7 @@ func optimize(prog *Program) {
 		depthBySlot: make(map[int]int),
 		taintSlot:   make(map[int]bool),
 		taintMemo:   make(map[expr.Expr]bool),
-		keyMemo:     make(map[expr.Expr]string),
+		canon:       NewCanon(),
 		depthMemo:   make(map[expr.Expr]int),
 		count:       make(map[string]int),
 		temps:       make(map[string]*expr.Ref),
@@ -75,7 +73,7 @@ type optimizer struct {
 	taintSlot map[int]bool
 
 	taintMemo map[expr.Expr]bool
-	keyMemo   map[expr.Expr]string
+	canon     *Canon
 	depthMemo map[expr.Expr]int
 
 	// count tallies occurrences of each canonical key across all step
@@ -86,12 +84,6 @@ type optimizer struct {
 	temps     map[string]*expr.Ref
 	tempSlots map[int]bool
 	nextTemp  int
-
-	// tables registers Table2D identities for canonical keys.
-	tables []*expr.Table2D
-
-	// opaque numbers unknown node types so they never compare equal.
-	opaque int
 
 	// Placement buffers: inserts[depth][i] holds temp steps to insert
 	// before original step i of that depth; appends[depth] holds temps
@@ -280,73 +272,9 @@ func (o *optimizer) tainted(e expr.Expr) bool {
 }
 
 // key returns a canonical string for e: structurally identical bound
-// subtrees produce equal keys. Refs key by slot, so two spellings of the
-// same variable compare equal after binding.
-func (o *optimizer) key(e expr.Expr) string {
-	if k, ok := o.keyMemo[e]; ok {
-		return k
-	}
-	var k string
-	switch n := e.(type) {
-	case *expr.Lit:
-		switch n.V.K {
-		case expr.Str:
-			k = "s:" + strconv.Quote(n.V.S)
-		case expr.Bool:
-			k = fmt.Sprintf("b:%d", n.V.I)
-		default:
-			k = fmt.Sprintf("i:%d", n.V.I)
-		}
-	case *expr.Ref:
-		k = fmt.Sprintf("r%d", n.Slot)
-	case *expr.Unary:
-		k = fmt.Sprintf("(u%d %s)", n.Op, o.key(n.X))
-	case *expr.Binary:
-		k = fmt.Sprintf("(o%d %s %s)", n.Op, o.key(n.L), o.key(n.R))
-	case *expr.Ternary:
-		k = fmt.Sprintf("(t %s %s %s)", o.key(n.Cond), o.key(n.Then), o.key(n.Else))
-	case *expr.Call:
-		parts := make([]string, len(n.Args))
-		for i, a := range n.Args {
-			parts[i] = o.key(a)
-		}
-		k = fmt.Sprintf("(c:%s %s)", n.Fn, strings.Join(parts, " "))
-	case *expr.Table2D:
-		k = fmt.Sprintf("(T%d %s %s)", o.tableIndex(n), o.key(n.Row), o.key(n.Col))
-	default:
-		o.opaque++
-		k = fmt.Sprintf("?%d", o.opaque)
-	}
-	o.keyMemo[e] = k
-	return k
-}
-
-func (o *optimizer) tableIndex(t *expr.Table2D) int {
-	for i, u := range o.tables {
-		if u == t || (u.Name == t.Name && sameTableData(u.Data, t.Data)) {
-			return i
-		}
-	}
-	o.tables = append(o.tables, t)
-	return len(o.tables) - 1
-}
-
-func sameTableData(a, b [][]int64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if len(a[i]) != len(b[i]) {
-			return false
-		}
-		for j := range a[i] {
-			if a[i][j] != b[i][j] {
-				return false
-			}
-		}
-	}
-	return true
-}
+// subtrees produce equal keys (see canon.go; the analyzer shares the
+// same notion of identity through plan.NewCanon).
+func (o *optimizer) key(e expr.Expr) string { return o.canon.Key(e) }
 
 // depth returns the natural depth of e: the innermost loop level among
 // its free variables, or -1 if it depends only on settings and prelude

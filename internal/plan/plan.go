@@ -242,6 +242,12 @@ type Options struct {
 	// TabulateBudget bounds the bytes committed to constraint tables;
 	// zero means DefaultTabulateBudget.
 	TabulateBudget int64
+
+	// Verify runs the IR invariant checker (Program.Verify) on the
+	// finished plan; a violated invariant is a compile error. Debug aid,
+	// exposed as the cmd/ tools' -verify flag and on unconditionally in
+	// the engine test harnesses.
+	Verify bool
 }
 
 // Compile builds the Program for s. Unless opts disables it (or fixes an
@@ -252,6 +258,20 @@ type Options struct {
 // fed back through the Options.Order path so every later pass (hoisting,
 // CSE, narrowing, chunk layout, split-depth choice) sees the better nest.
 func Compile(s *space.Space, opts Options) (*Program, error) {
+	prog, err := compileReordered(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Verify {
+		if err := prog.Verify(); err != nil {
+			return nil, fmt.Errorf("plan verification: %w", err)
+		}
+	}
+	return prog, nil
+}
+
+// compileReordered runs the loop-order arbitration around compile.
+func compileReordered(s *space.Space, opts Options) (*Program, error) {
 	if opts.DisableReorder || opts.Order != nil {
 		return compile(s, opts)
 	}

@@ -56,6 +56,10 @@ type Constraint struct {
 
 	// Doc is an optional human-readable description.
 	Doc string
+
+	// Pos is the source position of the declaration when the constraint
+	// came from a spec file; the zero Pos otherwise.
+	Pos Pos
 }
 
 // Deferred reports whether the constraint is a deferred (host-function)
@@ -97,6 +101,10 @@ type Derived struct {
 	Name string
 	Expr expr.Expr
 	Doc  string
+
+	// Pos is the source position of the declaration when the variable came
+	// from a spec file; the zero Pos otherwise.
+	Pos Pos
 }
 
 // Deps returns the sorted set of names the derived variable reads.

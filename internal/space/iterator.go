@@ -72,6 +72,10 @@ type Iterator struct {
 	// Doc is an optional human-readable description carried into reports
 	// and generated code comments.
 	Doc string
+
+	// Pos is the source position of the declaration when the iterator came
+	// from a spec file; the zero Pos otherwise.
+	Pos Pos
 }
 
 // Deps returns the sorted set of names this iterator's domain depends on.

@@ -1,0 +1,20 @@
+package space
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) for entities parsed
+// from a spec file. The zero Pos means "no source position" — spaces built
+// through the Go API carry none, and diagnostics render without a span.
+type Pos struct {
+	Line, Col int
+}
+
+// Known reports whether the position points at real source.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Known() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

@@ -47,6 +47,7 @@ func (k NodeKind) String() string {
 type Space struct {
 	settings    map[string]expr.Value
 	settingDocs map[string]string
+	settingPos  map[string]Pos
 	order       []string // declaration order of all names
 	kinds       map[string]NodeKind
 
@@ -62,6 +63,7 @@ func New() *Space {
 	return &Space{
 		settings:    make(map[string]expr.Value),
 		settingDocs: make(map[string]string),
+		settingPos:  make(map[string]Pos),
 		kinds:       make(map[string]NodeKind),
 	}
 }
@@ -99,6 +101,17 @@ func (s *Space) SettingDoc(name, doc string) *Space {
 	s.settingDocs[name] = doc
 	return s
 }
+
+// SetSettingPos records the source position of a setting declaration; the
+// speclang parser calls it so diagnostics can point at the declaration.
+func (s *Space) SetSettingPos(name string, pos Pos) *Space {
+	s.settingPos[name] = pos
+	return s
+}
+
+// SettingPos returns the recorded source position of a setting (the zero
+// Pos when none was recorded).
+func (s *Space) SettingPos(name string) Pos { return s.settingPos[name] }
 
 // AddIterator declares an iterator built elsewhere.
 func (s *Space) AddIterator(it *Iterator) *Space {

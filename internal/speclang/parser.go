@@ -101,7 +101,7 @@ func (p *parser) parseStatement() error {
 	if t.Kind != TokName {
 		return p.errAt(t, "expected statement, found %s", t)
 	}
-	name := p.next().Text
+	nameTok := p.next()
 	if err := p.expectOp("="); err != nil {
 		return err
 	}
@@ -109,9 +109,13 @@ func (p *parser) parseStatement() error {
 	if err != nil {
 		return err
 	}
-	p.space.DomainIter(name, dom)
+	p.space.DomainIter(nameTok.Text, dom).Pos = tokPos(nameTok)
 	return nil
 }
+
+// tokPos converts a token's location into a source position for the
+// declared space entity, so analyzer diagnostics can point at it.
+func tokPos(t Tok) space.Pos { return space.Pos{Line: t.Line, Col: t.Col} }
 
 func (p *parser) parseSetting() error {
 	p.next() // 'setting'
@@ -141,7 +145,7 @@ func (p *parser) parseSetting() error {
 	default:
 		return p.errAt(t, "expected literal setting value, found %s", t)
 	}
-	p.space.Setting(nameTok.Text, v)
+	p.space.Setting(nameTok.Text, v).SetSettingPos(nameTok.Text, tokPos(nameTok))
 	return nil
 }
 
@@ -158,7 +162,7 @@ func (p *parser) parseLet() error {
 	if err != nil {
 		return err
 	}
-	p.space.Derived(nameTok.Text, e)
+	p.space.Derived(nameTok.Text, e).Pos = tokPos(nameTok)
 	return nil
 }
 
@@ -187,7 +191,7 @@ func (p *parser) parseConstraint() error {
 	if err != nil {
 		return err
 	}
-	p.space.Constrain(nameTok.Text, class, e)
+	p.space.Constrain(nameTok.Text, class, e).Pos = tokPos(nameTok)
 	return nil
 }
 

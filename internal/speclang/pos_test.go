@@ -1,0 +1,167 @@
+package speclang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// TestParsePositions pins the source spans the parser attaches to every
+// declaration kind: the analyzer's diagnostics point at these.
+func TestParsePositions(t *testing.T) {
+	s, err := Parse(`# leading comment
+setting cap = 100
+
+i = range(1, 10)
+  j = range(1, i + 1)
+let prod = i * j
+constraint hard over: prod > cap
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIter := map[string]space.Pos{
+		"i": {Line: 4, Col: 1},
+		"j": {Line: 5, Col: 3},
+	}
+	for name, want := range wantIter {
+		it, ok := s.Iterator(name)
+		if !ok {
+			t.Fatalf("iterator %s missing", name)
+		}
+		if it.Pos != want {
+			t.Errorf("iterator %s: pos %v, want %v", name, it.Pos, want)
+		}
+	}
+	if got, want := s.SettingPos("cap"), (space.Pos{Line: 2, Col: 9}); got != want {
+		t.Errorf("setting cap: pos %v, want %v", got, want)
+	}
+	for _, d := range s.DerivedVars() {
+		if d.Name == "prod" {
+			if want := (space.Pos{Line: 6, Col: 5}); d.Pos != want {
+				t.Errorf("let prod: pos %v, want %v", d.Pos, want)
+			}
+		}
+	}
+	for _, c := range s.Constraints() {
+		if c.Name == "over" {
+			if want := (space.Pos{Line: 7, Col: 17}); c.Pos != want {
+				t.Errorf("constraint over: pos %v, want %v", c.Pos, want)
+			}
+		}
+	}
+}
+
+// TestGoAPIPositionsUnknown confirms spaces built through the Go API carry
+// the zero (unknown) position, and that Pos renders both states.
+func TestGoAPIPositionsUnknown(t *testing.T) {
+	var p space.Pos
+	if p.Known() {
+		t.Fatal("zero Pos must be unknown")
+	}
+	if p.String() != "-" {
+		t.Fatalf("unknown Pos renders %q, want -", p.String())
+	}
+	p = space.Pos{Line: 3, Col: 9}
+	if !p.Known() || p.String() != "3:9" {
+		t.Fatalf("known Pos renders %q", p.String())
+	}
+}
+
+// TestParseErrorEdgeCases walks parser error paths not covered by
+// TestParseErrors: statement-level junk, malformed domains, and lexer
+// corner cases, each pinned to a message fragment.
+func TestParseErrorEdgeCases(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"if = range(1, 2)", "unexpected keyword"},
+		{"42", "expected statement"},
+		{"setting = 3", "expected setting name"},
+		{`setting s = `, "expected literal setting value"},
+		{"let = 1", "expected derived-variable name"},
+		{"constraint hard : 1 > 0", "expected constraint name"},
+		{"x = range(1, 10) if 1", "expected 'else'"},
+		{"x = min()", "wrong argument count"},
+		{"x = abs(1, 2)", "wrong argument count"},
+		{"x = range()", "range() takes 1-3 arguments"},
+		{"x = (1, 2)", `expected ")"`},
+		{"x = [1; 2]", "unexpected character"},
+		{"x = 1 +", "expected expression"},
+		{"x = range(1, 5)\nconstraint hard x: 1 > 0", "redeclared"},
+		{"x = range(1, 5)\nlet x = 2", "redeclared"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseErrorPositions checks that parse errors carry the line:col of
+// the offending token, not just a message.
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("x = range(1, 10)\ny = range(1, 10\nz = [1]\n")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "line 2:") && !strings.Contains(err.Error(), "line 3:") {
+		t.Fatalf("error %q does not carry a source position near the defect", err)
+	}
+}
+
+// TestFormatRoundTripEdgeCases formats and re-parses specs exercising the
+// printer's corner cases: nested conditionals, domain algebra, string
+// settings with quotes, negative literals, and operator precedence that
+// needs parentheses to survive a round trip.
+func TestFormatRoundTripEdgeCases(t *testing.T) {
+	cases := []string{
+		`setting mode = "fast \"path\""
+i = range(1, 10)
+constraint hard c: i > 5
+`,
+		`i = range(-10, 10)
+j = range(1, 4) if i > 0 else ([2, 4] if i < -3 else range(2, 6))
+constraint soft s: (i + j) * (i - j) > 3
+`,
+		`i = union(intersect(range(1, 20), range(5, 30)), [100])
+j = difference(range(1, 50), range(10, 20))
+constraint hard c: i * j > 40
+`,
+		`i = range(1, 10)
+let a = -i
+let b = 1 - (2 - 3) * i
+constraint correctness cc: a + b != 0 and (i > 2 or i < 8)
+`,
+		`i = [1]
+j = range(i, i + 1)
+`,
+	}
+	for _, src := range cases {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		text1, err := Format(s1)
+		if err != nil {
+			t.Fatalf("Format: %v", err)
+		}
+		s2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("re-Parse of formatted spec:\n%s\nerror: %v", text1, err)
+		}
+		text2, err := Format(s2)
+		if err != nil {
+			t.Fatalf("re-Format: %v", err)
+		}
+		if text1 != text2 {
+			t.Errorf("format round trip not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text1, text2)
+		}
+	}
+}
